@@ -1,0 +1,255 @@
+package spblock_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"spblock"
+	"spblock/internal/bench"
+	"spblock/internal/cachesim"
+	"spblock/internal/tensor"
+)
+
+// The Benchmark* functions below regenerate each table/figure of the
+// paper at smoke-test scale (bench.Quick); the full-scale runs behind
+// EXPERIMENTS.md go through cmd/spblock-exp. The BenchmarkMTTKRP*
+// functions are conventional kernel micro-benchmarks.
+
+func BenchmarkFig2Roofline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1PPA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table1(bench.Quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table2(bench.Quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4RankBSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig4(bench.Quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5MBSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig5(bench.Quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig6(bench.Quick(), []int{16, 64}, []string{"Poisson2", "NELL2"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Traffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig6Traffic(bench.Quick(), 64, []string{"Poisson2"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3Distributed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table3(bench.Quick(), []int{1, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchOperands builds a shared workload for the kernel micro-benches:
+// a 96x2048x96 tensor with 200k nonzeros at rank 128, whose mode-2
+// factor (2 MB) exceeds a POWER8-class L2 — the regime the paper's
+// optimisations target.
+func benchOperands(b *testing.B) (*spblock.Tensor, *spblock.Matrix, *spblock.Matrix, *spblock.Matrix) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(99))
+	dims := spblock.Dims{96, 2048, 96}
+	x := spblock.NewTensor(dims, 200_000)
+	for p := 0; p < 200_000; p++ {
+		x.Append(
+			int32(rng.Intn(dims[0])),
+			int32(rng.Intn(dims[1])),
+			int32(rng.Intn(dims[2])),
+			rng.Float64(),
+		)
+	}
+	x.Dedup()
+	const rank = 128
+	bm := spblock.NewMatrix(dims[1], rank)
+	cm := spblock.NewMatrix(dims[2], rank)
+	for i := range bm.Data {
+		bm.Data[i] = rng.Float64()
+	}
+	for i := range cm.Data {
+		cm.Data[i] = rng.Float64()
+	}
+	return x, bm, cm, spblock.NewMatrix(dims[0], rank)
+}
+
+func benchKernel(b *testing.B, plan spblock.Plan) {
+	x, bm, cm, out := benchOperands(b)
+	exec, err := spblock.NewExecutor(x, plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stats := spblock.ComputeStats(x)
+	flops := 2 * int64(out.Cols) * (int64(stats.NNZ) + int64(stats.Fibers))
+	b.SetBytes(flops) // reported "MB/s" is really MFLOP/s x 1e-6
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := exec.Run(bm, cm, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMTTKRPCOO(b *testing.B) {
+	benchKernel(b, spblock.Plan{Method: spblock.MethodCOO})
+}
+
+func BenchmarkMTTKRPSPLATT(b *testing.B) {
+	benchKernel(b, spblock.Plan{Method: spblock.MethodSPLATT, Workers: 1})
+}
+
+func BenchmarkMTTKRPMB(b *testing.B) {
+	benchKernel(b, spblock.Plan{Method: spblock.MethodMB, Grid: [3]int{1, 8, 1}, Workers: 1})
+}
+
+func BenchmarkMTTKRPRankB(b *testing.B) {
+	benchKernel(b, spblock.Plan{Method: spblock.MethodRankB, RankBlockCols: 32, Workers: 1})
+}
+
+func BenchmarkMTTKRPMBRankB(b *testing.B) {
+	benchKernel(b, spblock.Plan{
+		Method: spblock.MethodMBRankB, Grid: [3]int{1, 8, 1}, RankBlockCols: 32, Workers: 1,
+	})
+}
+
+func BenchmarkBuildCSF(b *testing.B) {
+	x, _, _, _ := benchOperands(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spblock.BuildCSF(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildBlocked(b *testing.B) {
+	x, _, _, _ := benchOperands(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spblock.BuildBlocked(x, [3]int{2, 8, 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCacheSimSPLATT(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	x := spblock.NewTensor(spblock.Dims{32, 512, 32}, 20_000)
+	for p := 0; p < 20_000; p++ {
+		x.Append(int32(rng.Intn(32)), int32(rng.Intn(512)), int32(rng.Intn(32)), 1)
+	}
+	x.Dedup()
+	csf, err := tensor.BuildCSF(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cachesim.MeasureTraffic(cachesim.POWER8(), func(h *cachesim.Hierarchy) error {
+			return cachesim.TraceSPLATT(h, csf, cachesim.Options{Rank: 64})
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md) ---
+
+// Strip packing ablation: the Sec. V-B "stacked strips" rearrangement
+// on vs off, same strip width.
+func BenchmarkAblationStripPackingOn(b *testing.B) {
+	benchKernel(b, spblock.Plan{Method: spblock.MethodRankB, RankBlockCols: 32, Workers: 1})
+}
+
+func BenchmarkAblationStripPackingOff(b *testing.B) {
+	benchKernel(b, spblock.Plan{
+		Method: spblock.MethodRankB, RankBlockCols: 32, NoStripPacking: true, Workers: 1,
+	})
+}
+
+// Register blocking ablation: full-width register-blocked kernel
+// (RankBlockCols=0 — registers, no strips) vs the accumulator-array
+// SPLATT baseline isolates the load-pressure effect of Table I type 3.
+func BenchmarkAblationRegisterBlocking(b *testing.B) {
+	benchKernel(b, spblock.Plan{Method: spblock.MethodRankB, RankBlockCols: 0, Workers: 1})
+}
+
+// Parallel scaling of the slice-sharing scheme (bounded by the host's
+// single core, but exercises the work-sharing machinery).
+func BenchmarkParallelSPLATT4Workers(b *testing.B) {
+	benchKernel(b, spblock.Plan{Method: spblock.MethodSPLATT, Workers: 4})
+}
+
+func BenchmarkTuningStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.TuningTable(bench.Quick(), 64, []string{"Poisson2"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Memoization ablation (related-work extension): per-sweep CP-ALS cost
+// with and without the shared mode-3 contraction.
+func BenchmarkCPALSSweepPlain(b *testing.B) {
+	benchCPALSSweeps(b, false)
+}
+
+func BenchmarkCPALSSweepMemoized(b *testing.B) {
+	benchCPALSSweeps(b, true)
+}
+
+func benchCPALSSweeps(b *testing.B, memoize bool) {
+	rng := rand.New(rand.NewSource(31))
+	dims := spblock.Dims{64, 64, 512}
+	x := spblock.NewTensor(dims, 100_000)
+	for p := 0; p < 100_000; p++ {
+		// Long mode-3 fibers: many nonzeros per (i,j) pair, the regime
+		// memoization targets.
+		x.Append(int32(rng.Intn(dims[0])), int32(rng.Intn(dims[1])), int32(rng.Intn(dims[2])), 1)
+	}
+	x.Dedup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spblock.CPALS(x, spblock.CPOptions{
+			Rank: 32, MaxIters: 3, Tol: 1e-15, Seed: 1, Memoize: memoize,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"spblock"
+)
+
+func TestParseMethod(t *testing.T) {
+	cases := map[string]spblock.Method{
+		"coo": spblock.MethodCOO, "SPLATT": spblock.MethodSPLATT,
+		"mb": spblock.MethodMB, "rankb": spblock.MethodRankB,
+		"mbrankb": spblock.MethodMBRankB, "MB+RankB": spblock.MethodMBRankB,
+	}
+	for in, want := range cases {
+		got, err := parseMethod(in)
+		if err != nil || got != want {
+			t.Fatalf("parseMethod(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseMethod("zzz"); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}

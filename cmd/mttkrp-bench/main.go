@@ -1,0 +1,147 @@
+// Command mttkrp-bench times the MTTKRP kernel family on a tensor —
+// either a FROSTT .tns file or a named Table II generator — the way
+// splatt --bench does, reporting time, GFLOP/s and speedup over the
+// SPLATT baseline, with optional autotuned block sizes.
+//
+// Usage:
+//
+//	mttkrp-bench -dataset Poisson2 -rank 128
+//	mttkrp-bench -in tensor.tns -rank 64 -autotune -reps 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spblock"
+	"spblock/internal/bench"
+	"spblock/internal/gen"
+	"spblock/internal/tensor"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input .tns file")
+		dataset  = flag.String("dataset", "", "Table II data set name instead of -in")
+		scale    = flag.Float64("scale", 1.0, "scale for -dataset")
+		rank     = flag.Int("rank", 64, "decomposition rank R")
+		reps     = flag.Int("reps", 3, "timed repetitions (best kept)")
+		workers  = flag.Int("workers", 0, "kernel parallelism (0 = GOMAXPROCS)")
+		autotune = flag.Bool("autotune", true, "tune MB/RankB block sizes (Sec. V-C heuristic)")
+		seed     = flag.Int64("seed", 42, "generator/factor seed")
+	)
+	flag.Parse()
+
+	x, err := loadTensor(*in, *dataset, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	stats := spblock.ComputeStats(x)
+	profile, err := tensor.ProfileTensor(x)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("tensor: %s\n", profile)
+	fmt.Printf("rank:   %d   (factor B is %.1f MB)\n\n",
+		*rank, float64(x.Dims[1]**rank*8)/1e6)
+
+	plans := []spblock.Plan{
+		{Method: spblock.MethodCOO},
+		{Method: spblock.MethodSPLATT, Workers: *workers},
+		{Method: spblock.MethodMB, Grid: [3]int{1, 2, 1}, Workers: *workers},
+		{Method: spblock.MethodRankB, RankBlockCols: min(64, *rank), Workers: *workers},
+		{Method: spblock.MethodMBRankB, Grid: [3]int{1, 2, 1}, RankBlockCols: min(64, *rank), Workers: *workers},
+	}
+	if *autotune {
+		opts := spblock.AutotuneOptions{Trials: 1, Seed: *seed, Workers: *workers}
+		for i, p := range plans {
+			if p.Method == spblock.MethodCOO || p.Method == spblock.MethodSPLATT {
+				continue
+			}
+			tuned, _, err := spblock.Autotune(x, *rank, p.Method, opts)
+			if err != nil {
+				fatal(err)
+			}
+			plans[i] = tuned
+			plans[i].Workers = *workers
+		}
+	}
+
+	b := randomMatrix(x.Dims[1], *rank, *seed+1)
+	c := randomMatrix(x.Dims[2], *rank, *seed+2)
+	out := spblock.NewMatrix(x.Dims[0], *rank)
+
+	var baseline float64
+	fmt.Printf("%-36s %10s %9s %9s\n", "plan", "time (s)", "GFLOP/s", "speedup")
+	for _, plan := range plans {
+		exec, err := spblock.NewExecutor(x, plan)
+		if err != nil {
+			fatal(err)
+		}
+		if err := exec.Run(b, c, out); err != nil { // warm-up
+			fatal(err)
+		}
+		sec := bench.TimeBest(*reps, func() {
+			if err := exec.Run(b, c, out); err != nil {
+				panic(err)
+			}
+		})
+		gf := bench.GFLOPS(int64(stats.NNZ), int64(stats.Fibers), *rank, sec)
+		if plan.Method == spblock.MethodSPLATT {
+			baseline = sec
+		}
+		speedup := "-"
+		if baseline > 0 {
+			speedup = fmt.Sprintf("%.2fx", baseline/sec)
+		}
+		fmt.Printf("%-36s %10.4f %9.2f %9s\n", plan.String(), sec, gf, speedup)
+	}
+}
+
+func loadTensor(in, dataset string, scale float64, seed int64) (*tensor.COO, error) {
+	switch {
+	case in != "":
+		return spblock.LoadTNS(in)
+	case dataset != "":
+		spec, err := gen.Lookup(dataset)
+		if err != nil {
+			return nil, err
+		}
+		if scale == 1 {
+			return spec.Generate(seed)
+		}
+		d := spec.BenchDims
+		for m := 0; m < 3; m++ {
+			if v := int(float64(d[m]) * scale); v >= 8 {
+				d[m] = v
+			} else {
+				d[m] = 8
+			}
+		}
+		return spec.GenerateAt(d, int(float64(spec.BenchNNZ)*scale), seed)
+	default:
+		return nil, fmt.Errorf("need -in or -dataset")
+	}
+}
+
+func randomMatrix(rows, cols int, seed int64) *spblock.Matrix {
+	m := spblock.NewMatrix(rows, cols)
+	state := uint64(seed)
+	for i := range m.Data {
+		m.Data[i] = float64(gen.SplitMix64(&state)%1000)/1000 + 0.001
+	}
+	return m
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mttkrp-bench:", err)
+	os.Exit(1)
+}

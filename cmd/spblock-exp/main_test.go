@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 64 {
+		t.Fatalf("parseInts = %v", got)
+	}
+	if out, err := parseInts(""); err != nil || out != nil {
+		t.Fatalf("empty input: %v %v", out, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("bad list accepted")
+	}
+}

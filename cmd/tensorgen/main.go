@@ -1,0 +1,127 @@
+// Command tensorgen writes the synthetic data sets of Table II (or any
+// custom shape) as FROSTT-style .tns files.
+//
+// Usage:
+//
+//	tensorgen -dataset Poisson2 -out poisson2.tns
+//	tensorgen -dataset Netflix -scale 0.1 -out netflix-small.tns
+//	tensorgen -dims 1000x800x600 -nnz 500000 -kind clustered -out custom.tns
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spblock"
+	"spblock/internal/gen"
+	"spblock/internal/tensor"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "Table II data set name (see -list)")
+		list    = flag.Bool("list", false, "list available data sets and exit")
+		scale   = flag.Float64("scale", 1.0, "scale factor on the bench-size shape")
+		dims    = flag.String("dims", "", "custom shape IxJxK (overrides -dataset)")
+		nnz     = flag.Int("nnz", 0, "custom nonzero count (with -dims)")
+		kind    = flag.String("kind", "clustered", "custom generator: poisson|clustered")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		out     = flag.String("out", "", "output .tns path (default stdout)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available data sets (Table II):")
+		for _, name := range gen.Names() {
+			spec, _ := gen.Lookup(name)
+			fmt.Printf("  %-9s %-7s paper %v nnz=%.3g | bench %v nnz=%d\n",
+				name, spec.Kind, spec.PaperDims, float64(spec.PaperNNZ),
+				spec.BenchDims, spec.BenchNNZ)
+		}
+		return
+	}
+
+	var (
+		t   *tensor.COO
+		err error
+	)
+	switch {
+	case *dims != "":
+		t, err = generateCustom(*dims, *nnz, *kind, *seed)
+	case *dataset != "":
+		t, err = generateRegistry(*dataset, *scale, *seed)
+	default:
+		err = fmt.Errorf("need -dataset or -dims (try -list)")
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	stats := spblock.ComputeStats(t)
+	fmt.Fprintf(os.Stderr, "tensorgen: %s\n", stats)
+
+	if *out == "" {
+		if err := spblock.WriteTNS(os.Stdout, t); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := spblock.SaveTNS(*out, t); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tensorgen: wrote %s\n", *out)
+}
+
+func generateRegistry(name string, scale float64, seed int64) (*tensor.COO, error) {
+	spec, err := gen.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if scale == 1 {
+		return spec.Generate(seed)
+	}
+	d := spec.BenchDims
+	for m := 0; m < 3; m++ {
+		v := int(float64(d[m]) * scale)
+		if v < 8 {
+			v = 8
+		}
+		d[m] = v
+	}
+	n := int(float64(spec.BenchNNZ) * scale)
+	if n < 100 {
+		n = 100
+	}
+	return spec.GenerateAt(d, n, seed)
+}
+
+func generateCustom(dimsStr string, nnz int, kind string, seed int64) (*tensor.COO, error) {
+	parts := strings.Split(strings.ToLower(dimsStr), "x")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("dims must be IxJxK, got %q", dimsStr)
+	}
+	var d tensor.Dims
+	for m := 0; m < 3; m++ {
+		if _, err := fmt.Sscan(parts[m], &d[m]); err != nil {
+			return nil, fmt.Errorf("bad dims %q: %w", dimsStr, err)
+		}
+	}
+	if nnz <= 0 {
+		return nil, fmt.Errorf("custom shapes need -nnz > 0")
+	}
+	switch kind {
+	case "poisson":
+		return gen.Poisson(gen.PoissonParams{Dims: d, Events: nnz + nnz/8}, seed)
+	case "clustered":
+		return gen.Clustered(gen.ClusteredParams{Dims: d, NNZ: nnz}, seed)
+	default:
+		return nil, fmt.Errorf("unknown kind %q (poisson|clustered)", kind)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tensorgen:", err)
+	os.Exit(1)
+}

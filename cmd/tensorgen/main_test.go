@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestGenerateCustom(t *testing.T) {
+	x, err := generateCustom("10x20x30", 100, "clustered", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Dims[0] != 10 || x.Dims[1] != 20 || x.Dims[2] != 30 {
+		t.Fatalf("dims = %v", x.Dims)
+	}
+	if x.NNZ() == 0 {
+		t.Fatal("empty tensor")
+	}
+	if _, err := generateCustom("10x20x30", 50, "poisson", 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []struct {
+		dims, kind string
+		nnz        int
+	}{
+		{"10x20", "clustered", 5},
+		{"axbxc", "clustered", 5},
+		{"10x20x30", "clustered", 0},
+		{"10x20x30", "wat", 5},
+	} {
+		if _, err := generateCustom(bad.dims, bad.nnz, bad.kind, 1); err == nil {
+			t.Fatalf("accepted %+v", bad)
+		}
+	}
+}
+
+func TestGenerateRegistry(t *testing.T) {
+	x, err := generateRegistry("Poisson1", 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NNZ() == 0 {
+		t.Fatal("empty tensor")
+	}
+	if _, err := generateRegistry("nope", 1, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

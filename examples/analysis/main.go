@@ -1,0 +1,125 @@
+// Analysis: walk through the paper's Sec. IV methodology on a small
+// tensor — roofline placement (Eq. 1–3), pressure point analysis
+// (Table I), per-structure DRAM traffic through a POWER8-like cache,
+// and the 3-C miss classification that explains why strip packing
+// matters. This is the diagnostic workflow a performance engineer
+// would run before choosing block sizes.
+//
+//	go run ./examples/analysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spblock/internal/cachesim"
+	"spblock/internal/gen"
+	"spblock/internal/la"
+	"spblock/internal/ppa"
+	"spblock/internal/roofline"
+	"spblock/internal/tensor"
+)
+
+func main() {
+	// A Poisson3-like cube, small enough to simulate in seconds.
+	x, err := gen.Poisson(gen.PoissonParams{
+		Dims: tensor.Dims{600, 600, 600}, Events: 400_000, Components: 24, Spread: 0.3,
+	}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := tensor.ProfileTensor(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tensor profile:")
+	fmt.Println(prof)
+
+	const rank = 128
+	csf, err := tensor.BuildCSF(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Roofline placement (Sec. IV-A): where does SPLATT MTTKRP sit?
+	fmt.Printf("\n1. roofline (rank %d):\n", rank)
+	for _, alpha := range []float64{0.0, 0.8, 0.95, 1.0} {
+		in, err := roofline.Intensity(roofline.Params{
+			NNZ: int64(csf.NNZ()), Fibers: int64(csf.NumFibers()), Rank: rank, Alpha: alpha,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "memory bound"
+		if !roofline.POWER8Socket.MemoryBound(in) {
+			verdict = "compute bound"
+		}
+		fmt.Printf("   α=%.2f: I=%.2f flops/byte -> %.1f GFLOP/s attainable (%s on POWER8)\n",
+			alpha, in, roofline.POWER8Socket.AttainableGFLOP(in), verdict)
+	}
+
+	// 2. Pressure point analysis (Sec. IV-B / Table I) on this host.
+	fmt.Println("\n2. pressure points (wall clock on this machine):")
+	b := la.NewMatrix(x.Dims[1], rank)
+	c := la.NewMatrix(x.Dims[2], rank)
+	for i := range b.Data {
+		b.Data[i] = float64(i%13) / 13
+	}
+	for i := range c.Data {
+		c.Data[i] = float64(i%7) / 7
+	}
+	results, err := ppa.Measure(csf, b, c, rank, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("   type %d: %.3fs (%.2fx of baseline) - %s\n",
+			int(r.Variant), r.Seconds, r.Relative, r.Variant.Description())
+	}
+
+	// 3. Per-structure DRAM traffic through the paper's cache.
+	fmt.Println("\n3. simulated DRAM traffic (POWER8-like 64KB L1 + 512KB L2):")
+	tr, err := cachesim.MeasureTraffic(cachesim.POWER8(), func(h *cachesim.Hierarchy) error {
+		return cachesim.TraceSPLATT(h, csf, cachesim.Options{Rank: rank})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := float64(tr.MemBytes(-1))
+	for _, reg := range cachesim.Regions() {
+		mb := float64(tr.MemBytes(reg))
+		if mb == 0 {
+			continue
+		}
+		fmt.Printf("   %-8s %8.1f MB (%4.1f%%)  hit rate %.3f\n",
+			reg, mb/1e6, 100*mb/total, tr.HitRate(reg))
+	}
+	factorShare := float64(tr.MemBytes(cachesim.RegionB)+tr.MemBytes(cachesim.RegionC)) / total
+	fmt.Printf("   total    %8.1f MB — factor matrices carry %.0f%% of the traffic,\n",
+		total/1e6, 100*factorShare)
+	fmt.Println("   the (1-α)·R·(nnz+F) terms of Eq. 1 (this tensor's short fibers")
+	fmt.Println("   make C's per-fiber term unusually heavy; B's per-nonzero term")
+	fmt.Println("   dominates on fiber-rich data like Figure 1's)")
+
+	// 4. Miss classification: why the Sec. V-B strip packing matters.
+	fmt.Println("\n4. RankB strips at the L2, unpacked vs packed (B factor):")
+	for _, noPack := range []bool{true, false} {
+		cl, err := cachesim.NewClassifier(cachesim.LevelConfig{Name: "L2", Size: 512 << 10, Ways: 8}, 128)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cachesim.TraceRankB(cl, csf, cachesim.Options{
+			Rank: rank, RankBlockCols: 32, NoStripPacking: noPack,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		m := cl.Region(cachesim.RegionB)
+		label := "packed  "
+		if noPack {
+			label = "unpacked"
+		}
+		fmt.Printf("   %s: hits=%d compulsory=%d capacity=%d conflict=%d\n",
+			label, m.Hits, m.Compulsory, m.Capacity, m.Conflict)
+	}
+	fmt.Println("\nconclusion: block to keep B resident, pack strips to kill conflicts.")
+}

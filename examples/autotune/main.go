@@ -1,0 +1,61 @@
+// Autotune: run the paper's Sec. V-C block-size heuristic on two
+// tensors with very different shapes and show how the chosen grids
+// differ — mode-2-heavy data gets mode-2 blocks, and the rank strip
+// width settles where the strip working set fits the cache.
+//
+//	go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spblock"
+)
+
+func main() {
+	// Poisson2-like: a long mode 2 (the paper's Fig. 5a shape).
+	p2spec, err := spblock.LookupDataset("Poisson2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	poisson2, err := p2spec.GenerateAt(spblock.Dims{120, 1000, 120}, 300_000, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Netflix-like: a long mode 1 with clusters.
+	nfspec, err := spblock.LookupDataset("Netflix")
+	if err != nil {
+		log.Fatal(err)
+	}
+	netflix, err := nfspec.GenerateAt(spblock.Dims{20_000, 800, 64}, 300_000, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const rank = 128
+	for _, tc := range []struct {
+		name string
+		x    *spblock.Tensor
+	}{
+		{"Poisson2-like", poisson2},
+		{"Netflix-like", netflix},
+	} {
+		fmt.Printf("%s: %s\n", tc.name, spblock.ComputeStats(tc.x))
+		for _, method := range []spblock.Method{spblock.MethodMB, spblock.MethodRankB, spblock.MethodMBRankB} {
+			plan, trials, err := spblock.Autotune(tc.x, rank, method, spblock.AutotuneOptions{Trials: 2})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-9s -> %-32s (%d candidates tried)\n", method, plan, len(trials))
+			// Show the search trajectory for the combined method.
+			if method == spblock.MethodMBRankB {
+				for _, tr := range trials {
+					fmt.Printf("      tried %-32s %.4fs\n", tr.Plan, tr.Cost)
+				}
+			}
+		}
+		fmt.Println()
+	}
+}

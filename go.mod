@@ -1,0 +1,3 @@
+module spblock
+
+go 1.22

@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Note:   "a note",
+		Header: []string{"a", "long-column"},
+	}
+	tab.Add("1", "2")
+	tab.Add("333", "4")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "a note", "long-column", "333"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tab := &Table{Header: []string{"a", "b"}}
+	tab.Add(`va"l`, "x,y")
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"va""l"`) || !strings.Contains(out, `"x,y"`) {
+		t.Fatalf("CSV escaping broken:\n%s", out)
+	}
+}
+
+func TestTimeBest(t *testing.T) {
+	calls := 0
+	sec := TimeBest(3, func() { calls++ })
+	if calls != 3 {
+		t.Fatalf("f called %d times", calls)
+	}
+	if sec < 0 {
+		t.Fatal("negative time")
+	}
+	TimeBest(0, func() { calls++ }) // clamps to 1
+	if calls != 4 {
+		t.Fatal("reps=0 should run once")
+	}
+}
+
+func TestGFLOPS(t *testing.T) {
+	if GFLOPS(1000, 100, 16, 0) != 0 {
+		t.Fatal("zero time must give zero")
+	}
+	// 2*16*1100 flops in 1 s = 35200 flops = 3.52e-5 GFLOP/s.
+	if got := GFLOPS(1000, 100, 16, 1); got != 35200.0/1e9 {
+		t.Fatalf("GFLOPS = %v", got)
+	}
+}
+
+func TestDatasetScaling(t *testing.T) {
+	cfg := Quick()
+	x, spec, err := Dataset(cfg, "Poisson1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NNZ() == 0 {
+		t.Fatal("empty dataset")
+	}
+	if x.NNZ() >= spec.BenchNNZ {
+		t.Fatalf("quick scale did not shrink: %d >= %d", x.NNZ(), spec.BenchNNZ)
+	}
+	// Cache: same call returns the same pointer.
+	x2, _, err := Dataset(cfg, "Poisson1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x2 != x {
+		t.Fatal("dataset cache miss on identical request")
+	}
+	if _, _, err := Dataset(cfg, "zzz"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestFig2(t *testing.T) {
+	tab, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 {
+		t.Fatalf("Figure 2 has %d alpha rows, want 9", len(tab.Rows))
+	}
+	if len(tab.Header) != 9 { // alpha + 8 ranks
+		t.Fatalf("Figure 2 has %d cols", len(tab.Header))
+	}
+}
+
+func TestTable1Quick(t *testing.T) {
+	tab, err := Table1(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("Table I has %d rows, want 6", len(tab.Rows))
+	}
+	// Last row is the unchanged baseline with relative 1.000.
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[2] != "1.000" {
+		t.Fatalf("baseline relative = %q", last[2])
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	tab, err := Table2(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("Table II has %d rows, want 7", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "Poisson1" || tab.Rows[6][0] != "Amazon" {
+		t.Fatalf("Table II order wrong: %v", tab.Rows)
+	}
+}
+
+func TestFig4Quick(t *testing.T) {
+	tab, err := Fig4(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 datasets x (1 baseline + 6 block counts).
+	if len(tab.Rows) != 14 {
+		t.Fatalf("Figure 4 has %d rows, want 14", len(tab.Rows))
+	}
+}
+
+func TestFig5Quick(t *testing.T) {
+	tab, err := Fig5(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 10 {
+		t.Fatalf("Figure 5 has only %d rows", len(tab.Rows))
+	}
+}
+
+func TestFig6Quick(t *testing.T) {
+	tab, err := Fig6(Quick(), []int{16, 32}, []string{"Poisson2", "NELL2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("Figure 6 quick has %d rows, want 4", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		for _, col := range []int{3, 4, 5} {
+			if !strings.HasSuffix(row[col], "x") {
+				t.Fatalf("speedup cell %q not a ratio", row[col])
+			}
+		}
+	}
+}
+
+func TestFig6TrafficQuick(t *testing.T) {
+	tab, err := Fig6Traffic(Quick(), 64, []string{"Poisson2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestTable3Quick(t *testing.T) {
+	tab, err := Table3(Quick(), []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 datasets x 2 node counts.
+	if len(tab.Rows) != 4 {
+		t.Fatalf("Table III quick has %d rows, want 4", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[2] == "" || row[4] == "" {
+			t.Fatalf("missing timings in %v", row)
+		}
+	}
+}
+
+func TestTuningTableQuick(t *testing.T) {
+	tab, err := TuningTable(Quick(), 64, []string{"Poisson2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("tuning table has %d rows, want 3 strategies", len(tab.Rows))
+	}
+	// The exhaustive strategy must evaluate at least as many candidates
+	// as the greedy ones.
+	var evals [3]int
+	for i, row := range tab.Rows {
+		if _, err := fmt.Sscan(row[4], &evals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if evals[2] < evals[1] {
+		t.Fatalf("exhaustive evals %d < model evals %d", evals[2], evals[1])
+	}
+}
+
+func TestFig5TrafficQuick(t *testing.T) {
+	tab, err := Fig5Traffic(Quick(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 10 {
+		t.Fatalf("Figure 5 traffic has only %d rows", len(tab.Rows))
+	}
+	// Each dataset leads with a SPLATT baseline at 1.00x.
+	if tab.Rows[0][1] != "SPLATT" || tab.Rows[0][5] != "1.00x" {
+		t.Fatalf("first row = %v", tab.Rows[0])
+	}
+}

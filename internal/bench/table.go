@@ -1,0 +1,151 @@
+// Package bench is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation (Sec. IV and VI) as text tables,
+// shared between the spblock-exp command and the Go benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes an aligned text table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV.
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// TimeBest runs f reps times and returns the fastest wall-clock seconds
+// (minimum is the standard noise-robust estimator for benchmarks).
+func TimeBest(reps int, f func()) float64 {
+	if reps <= 0 {
+		reps = 1
+	}
+	best := 0.0
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		f()
+		sec := time.Since(start).Seconds()
+		if i == 0 || sec < best {
+			best = sec
+		}
+	}
+	return best
+}
+
+// GFLOPS converts an MTTKRP execution (2·R·(nnz+F) flops, Equation 2)
+// into GFLOP/s for the given time.
+func GFLOPS(nnz, fibers int64, rank int, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return 2 * float64(rank) * float64(nnz+fibers) / seconds / 1e9
+}
+
+// Config controls experiment sizing so the full suite can run at bench
+// scale on one core, and at tiny scale inside unit tests.
+type Config struct {
+	// Scale multiplies the registry's bench-scale nnz and mode lengths
+	// (1.0 = registry defaults, Quick uses much smaller).
+	Scale float64
+	// Reps is timed repetitions per measurement (best kept).
+	Reps int
+	// Workers is kernel parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Seed drives all data generation.
+	Seed int64
+}
+
+// Quick returns a configuration small enough for unit tests and smoke
+// benchmarks.
+func Quick() Config { return Config{Scale: 0.04, Reps: 1, Workers: 1, Seed: 42} }
+
+// Full returns the bench-scale defaults used for EXPERIMENTS.md.
+func Full() Config { return Config{Scale: 1, Reps: 3, Workers: 0, Seed: 42} }
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Reps <= 0 {
+		c.Reps = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}

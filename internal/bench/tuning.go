@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"fmt"
+
+	"spblock/internal/autotune"
+	"spblock/internal/core"
+)
+
+// TuningTable compares the three autotuning strategies (the paper's
+// Sec. V-C heuristic, the model-based search of the future-work
+// framework, and a bounded exhaustive sweep) on the MB+RankB space:
+// chosen plan, model-predicted cost, and the number of candidate
+// evaluations each strategy spent.
+func TuningTable(cfg Config, rank int, datasets []string) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if rank <= 0 {
+		rank = 128
+	}
+	if len(datasets) == 0 {
+		datasets = []string{"Poisson2", "Poisson3", "NELL2", "Netflix"}
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Autotuning strategies (MB+RankB, rank %d)", rank),
+		Note: "cost = model-predicted seconds on a POWER8-like socket (simulated traffic x roofline); " +
+			"heuristic = Sec. V-C measured greedy, model = traffic-model greedy, exhaustive = bounded sweep",
+		Header: []string{"Dataset", "Strategy", "Chosen plan", "Model cost (ms)", "Evals"},
+	}
+	for _, name := range datasets {
+		x, _, err := Dataset(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		opts := autotune.Options{Seed: cfg.Seed, Workers: cfg.Workers, MaxGridSteps: 4}
+		cost, err := autotune.ModelCost(x, rank, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, strat := range []autotune.Strategy{
+			autotune.StrategyHeuristic, autotune.StrategyModel, autotune.StrategyExhaustive,
+		} {
+			res, err := autotune.Tune(x, rank, core.MethodMBRankB, strat, opts)
+			if err != nil {
+				return nil, err
+			}
+			t.Add(name, strat.String(), res.Plan.String(),
+				fmt.Sprintf("%.3f", cost(res.Plan)*1e3),
+				fmt.Sprintf("%d", res.Evaluated))
+		}
+	}
+	return t, nil
+}

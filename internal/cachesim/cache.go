@@ -1,0 +1,305 @@
+// Package cachesim provides a software cache simulator and
+// address-trace instrumented MTTKRP kernels.
+//
+// The paper's analysis (Sec. IV) is about DRAM traffic: Equation 1
+// models bytes moved as a function of the cache hit rate α, and the
+// pressure-point analysis attributes most of the kernel's cost to
+// misses on the mode-2 factor matrix. Wall-clock times on this
+// reproduction's host do not resolve those effects cleanly (different
+// cache sizes, prefetchers, out-of-order windows), so the experiments
+// replay each kernel's exact memory-access trace through a
+// set-associative LRU hierarchy configured like the paper's POWER8
+// (64 KB L1 + 512 KB L2 per core, 128-byte lines) and report measured
+// traffic per data structure. Traffic shape is what the paper's claims
+// rest on, and it is architecture-independent.
+package cachesim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	Name string
+	Size int // bytes
+	Ways int
+}
+
+// Config describes a cache hierarchy.
+type Config struct {
+	LineSize int // bytes; POWER8 uses 128
+	Levels   []LevelConfig
+}
+
+// POWER8 returns the per-core hierarchy of the paper's test platform:
+// 64 KB 8-way L1D and 512 KB 8-way L2, 128-byte lines (Sec. VI-A1).
+func POWER8() Config {
+	return Config{
+		LineSize: 128,
+		Levels: []LevelConfig{
+			{Name: "L1", Size: 64 << 10, Ways: 8},
+			{Name: "L2", Size: 512 << 10, Ways: 8},
+		},
+	}
+}
+
+// level is one set-associative LRU cache level.
+type level struct {
+	setMask uint64
+	ways    int
+	// sets[s] holds up to `ways` line tags, most recently used first.
+	sets [][]uint64
+}
+
+func newLevel(cfg LevelConfig, lineSize int) (*level, error) {
+	if cfg.Size <= 0 || cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cachesim: level %q needs positive size and ways", cfg.Name)
+	}
+	lines := cfg.Size / lineSize
+	if lines == 0 || lines%cfg.Ways != 0 {
+		return nil, fmt.Errorf("cachesim: level %q: %d lines not divisible by %d ways",
+			cfg.Name, lines, cfg.Ways)
+	}
+	nsets := lines / cfg.Ways
+	if nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("cachesim: level %q: %d sets is not a power of two", cfg.Name, nsets)
+	}
+	l := &level{
+		setMask: uint64(nsets - 1),
+		ways:    cfg.Ways,
+		sets:    make([][]uint64, nsets),
+	}
+	for s := range l.sets {
+		l.sets[s] = make([]uint64, 0, cfg.Ways)
+	}
+	return l, nil
+}
+
+// access looks line up, updates LRU order, inserts on miss, and reports
+// whether it hit.
+func (l *level) access(line uint64) bool {
+	set := l.sets[line&l.setMask]
+	for idx, tag := range set {
+		if tag == line {
+			// Move to front (MRU).
+			copy(set[1:idx+1], set[:idx])
+			set[0] = line
+			return true
+		}
+	}
+	// Miss: insert at front, evicting the LRU way if full.
+	if len(set) < l.ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = line
+	l.sets[line&l.setMask] = set
+	return false
+}
+
+// Region labels the data structure an access belongs to, so traffic can
+// be broken down the way Equation 1 is (factor matrices vs tensor
+// stream vs accumulator).
+type Region int
+
+const (
+	RegionA     Region = iota // mode-1 factor (output)
+	RegionB                   // mode-2 factor
+	RegionC                   // mode-3 factor
+	RegionVal                 // tensor values
+	RegionJIdx                // j_index
+	RegionFiber               // k_index + k_pointer
+	RegionSlice               // i_pointer / slice ids
+	RegionAccum               // the accumulator array s
+	numRegions
+)
+
+var regionNames = [numRegions]string{
+	"A", "B", "C", "val", "j_index", "fiber", "slice", "accum",
+}
+
+func (r Region) String() string {
+	if r < 0 || r >= numRegions {
+		return fmt.Sprintf("Region(%d)", int(r))
+	}
+	return regionNames[r]
+}
+
+// Regions lists all regions in display order.
+func Regions() []Region {
+	out := make([]Region, numRegions)
+	for i := range out {
+		out[i] = Region(i)
+	}
+	return out
+}
+
+// regionBase gives each region a disjoint 1 TiB address window, so
+// structures never alias.
+func regionBase(r Region) uint64 { return uint64(r+1) << 40 }
+
+// Hierarchy simulates a multi-level hierarchy and gathers per-region
+// counts of which level served each line access.
+type Hierarchy struct {
+	lineShift uint
+	lineSize  int
+	levels    []*level
+	names     []string
+
+	// served[r][l] counts line accesses of region r served at level l;
+	// index len(levels) means DRAM.
+	served [numRegions][]int64
+}
+
+// NewHierarchy builds a hierarchy from cfg.
+func NewHierarchy(cfg Config) (*Hierarchy, error) {
+	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		return nil, fmt.Errorf("cachesim: line size %d must be a positive power of two", cfg.LineSize)
+	}
+	if len(cfg.Levels) == 0 {
+		return nil, fmt.Errorf("cachesim: need at least one level")
+	}
+	h := &Hierarchy{
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineSize))),
+		lineSize:  cfg.LineSize,
+	}
+	for _, lc := range cfg.Levels {
+		lv, err := newLevel(lc, cfg.LineSize)
+		if err != nil {
+			return nil, err
+		}
+		h.levels = append(h.levels, lv)
+		h.names = append(h.names, lc.Name)
+	}
+	for r := range h.served {
+		h.served[r] = make([]int64, len(h.levels)+1)
+	}
+	return h, nil
+}
+
+// LineSize returns the configured line size in bytes.
+func (h *Hierarchy) LineSize() int { return h.lineSize }
+
+// Touch simulates an access of `size` bytes at `offset` within region
+// r. Every line covered is accessed; each line is looked up level by
+// level and inserted into every level above (and including) the one
+// that missed — a simple inclusive fill policy.
+func (h *Hierarchy) Touch(r Region, offset int64, size int) {
+	if size <= 0 {
+		return
+	}
+	addr := regionBase(r) + uint64(offset)
+	first := addr >> h.lineShift
+	last := (addr + uint64(size) - 1) >> h.lineShift
+	for line := first; line <= last; line++ {
+		h.touchLine(r, line)
+	}
+}
+
+func (h *Hierarchy) touchLine(r Region, line uint64) {
+	for lv, cache := range h.levels {
+		if cache.access(line) {
+			h.served[r][lv]++
+			return
+		}
+	}
+	// Missed everywhere: served by memory. The line was inserted into
+	// every level by the access calls above.
+	h.served[r][len(h.levels)]++
+}
+
+// Traffic summarises the simulation.
+type Traffic struct {
+	LineSize   int
+	LevelNames []string
+	// Served[r][l]: line accesses of region r served at level l
+	// (index == len(LevelNames) means DRAM).
+	Served [][]int64
+}
+
+// Snapshot returns accumulated counters.
+func (h *Hierarchy) Snapshot() Traffic {
+	t := Traffic{
+		LineSize:   h.lineSize,
+		LevelNames: append([]string(nil), h.names...),
+		Served:     make([][]int64, numRegions),
+	}
+	for r := range h.served {
+		t.Served[r] = append([]int64(nil), h.served[r]...)
+	}
+	return t
+}
+
+// Reset clears counters but keeps cache contents.
+func (h *Hierarchy) Reset() {
+	for r := range h.served {
+		clear(h.served[r])
+	}
+}
+
+// TotalAccesses sums line accesses across regions.
+func (t Traffic) TotalAccesses() int64 {
+	var s int64
+	for _, row := range t.Served {
+		for _, v := range row {
+			s += v
+		}
+	}
+	return s
+}
+
+// MemLines returns the number of lines fetched from DRAM, optionally
+// restricted to one region (pass a negative region for all).
+func (t Traffic) MemLines(r Region) int64 {
+	last := len(t.LevelNames)
+	if r >= 0 {
+		return t.Served[r][last]
+	}
+	var s int64
+	for _, row := range t.Served {
+		s += row[last]
+	}
+	return s
+}
+
+// MemBytes returns DRAM bytes moved (MemLines * LineSize).
+func (t Traffic) MemBytes(r Region) int64 { return t.MemLines(r) * int64(t.LineSize) }
+
+// HitRate returns the fraction of line accesses served by any cache
+// level (the α of Equation 1), optionally per region.
+func (t Traffic) HitRate(r Region) float64 {
+	last := len(t.LevelNames)
+	var hits, total int64
+	add := func(row []int64) {
+		for l, v := range row {
+			total += v
+			if l < last {
+				hits += v
+			}
+		}
+	}
+	if r >= 0 {
+		add(t.Served[r])
+	} else {
+		for _, row := range t.Served {
+			add(row)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// Toucher consumes an address trace: both Hierarchy and Classifier
+// implement it, so every traced kernel can feed either the traffic
+// counters or the miss classifier.
+type Toucher interface {
+	Touch(r Region, offset int64, size int)
+}
+
+var (
+	_ Toucher = (*Hierarchy)(nil)
+	_ Toucher = (*Classifier)(nil)
+)

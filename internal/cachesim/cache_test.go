@@ -1,0 +1,193 @@
+package cachesim
+
+import (
+	"testing"
+)
+
+func tinyConfig() Config {
+	// 4 lines of 64 B in 2 sets x 2 ways for L1; 16 lines for L2.
+	return Config{
+		LineSize: 64,
+		Levels: []LevelConfig{
+			{Name: "L1", Size: 256, Ways: 2},
+			{Name: "L2", Size: 1024, Ways: 2},
+		},
+	}
+}
+
+func TestNewHierarchyValidation(t *testing.T) {
+	bad := []Config{
+		{LineSize: 0, Levels: []LevelConfig{{Name: "L1", Size: 256, Ways: 2}}},
+		{LineSize: 65, Levels: []LevelConfig{{Name: "L1", Size: 256, Ways: 2}}},
+		{LineSize: 64},
+		{LineSize: 64, Levels: []LevelConfig{{Name: "L1", Size: 0, Ways: 2}}},
+		{LineSize: 64, Levels: []LevelConfig{{Name: "L1", Size: 256, Ways: 0}}},
+		{LineSize: 64, Levels: []LevelConfig{{Name: "L1", Size: 192, Ways: 2}}}, // 3 lines per way -> 1.5 sets
+	}
+	for n, cfg := range bad {
+		if _, err := NewHierarchy(cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", n, cfg)
+		}
+	}
+	if _, err := NewHierarchy(POWER8()); err != nil {
+		t.Fatalf("POWER8 config rejected: %v", err)
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h, err := NewHierarchy(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Touch(RegionB, 0, 8) // cold: memory
+	h.Touch(RegionB, 0, 8) // hot: L1
+	tr := h.Snapshot()
+	if tr.Served[RegionB][2] != 1 {
+		t.Fatalf("memory lines = %d, want 1", tr.Served[RegionB][2])
+	}
+	if tr.Served[RegionB][0] != 1 {
+		t.Fatalf("L1 hits = %d, want 1", tr.Served[RegionB][0])
+	}
+	if got := tr.HitRate(RegionB); got != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", got)
+	}
+}
+
+func TestTouchSpansLines(t *testing.T) {
+	h, _ := NewHierarchy(tinyConfig())
+	// 130 bytes starting at offset 60 covers lines 0, 1, 2, 3 (60..189).
+	h.Touch(RegionA, 60, 130)
+	tr := h.Snapshot()
+	var total int64
+	for _, v := range tr.Served[RegionA] {
+		total += v
+	}
+	if total != 3 {
+		t.Fatalf("line accesses = %d, want 3", total)
+	}
+	if tr.MemLines(RegionA) != 3 {
+		t.Fatalf("all cold accesses must come from memory, got %d", tr.MemLines(RegionA))
+	}
+}
+
+func TestZeroSizeTouchIgnored(t *testing.T) {
+	h, _ := NewHierarchy(tinyConfig())
+	h.Touch(RegionA, 0, 0)
+	h.Touch(RegionA, 0, -8)
+	if h.Snapshot().TotalAccesses() != 0 {
+		t.Fatal("zero/negative touches counted")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	h, _ := NewHierarchy(tinyConfig())
+	// L1: 2 sets x 2 ways, 64 B lines. Lines 0 and 2 map to set 0
+	// (line index even), lines 1 and 3 to set 1.
+	h.Touch(RegionA, 0*64, 8) // line 0 -> set 0
+	h.Touch(RegionA, 2*64, 8) // line 2 -> set 0
+	h.Touch(RegionA, 4*64, 8) // line 4 -> set 0, evicts line 0 (LRU)
+	h.Touch(RegionA, 2*64, 8) // line 2: still L1
+	h.Touch(RegionA, 0*64, 8) // line 0: evicted from L1, hits L2
+	tr := h.Snapshot()
+	if tr.Served[RegionA][0] != 1 {
+		t.Fatalf("L1 hits = %d, want 1 (only the line-2 touch)", tr.Served[RegionA][0])
+	}
+	if tr.Served[RegionA][1] != 1 {
+		t.Fatalf("L2 hits = %d, want 1 (evicted line 0)", tr.Served[RegionA][1])
+	}
+	if tr.Served[RegionA][2] != 3 {
+		t.Fatalf("memory = %d, want 3 cold misses", tr.Served[RegionA][2])
+	}
+}
+
+func TestLRURecencyUpdate(t *testing.T) {
+	h, _ := NewHierarchy(tinyConfig())
+	h.Touch(RegionA, 0*64, 8) // set 0: [0]
+	h.Touch(RegionA, 2*64, 8) // set 0: [2, 0]
+	h.Touch(RegionA, 0*64, 8) // touch 0 again -> [0, 2]
+	h.Touch(RegionA, 4*64, 8) // evicts 2, not 0
+	h.Touch(RegionA, 0*64, 8) // must still be an L1 hit
+	tr := h.Snapshot()
+	if tr.Served[RegionA][0] != 2 {
+		t.Fatalf("L1 hits = %d, want 2", tr.Served[RegionA][0])
+	}
+}
+
+func TestRegionsDoNotAlias(t *testing.T) {
+	h, _ := NewHierarchy(tinyConfig())
+	h.Touch(RegionA, 0, 8)
+	h.Touch(RegionB, 0, 8)
+	tr := h.Snapshot()
+	// Same offset in different regions must be distinct lines: both
+	// cold-miss.
+	if tr.MemLines(RegionA) != 1 || tr.MemLines(RegionB) != 1 {
+		t.Fatalf("regions aliased: A=%d B=%d", tr.MemLines(RegionA), tr.MemLines(RegionB))
+	}
+}
+
+func TestMemBytesAndAggregates(t *testing.T) {
+	h, _ := NewHierarchy(tinyConfig())
+	h.Touch(RegionA, 0, 8)
+	h.Touch(RegionB, 0, 8)
+	h.Touch(RegionB, 0, 8)
+	tr := h.Snapshot()
+	if tr.MemBytes(RegionB) != 64 {
+		t.Fatalf("MemBytes(B) = %d, want 64", tr.MemBytes(RegionB))
+	}
+	if tr.MemLines(-1) != 2 {
+		t.Fatalf("total mem lines = %d, want 2", tr.MemLines(-1))
+	}
+	if tr.TotalAccesses() != 3 {
+		t.Fatalf("total accesses = %d, want 3", tr.TotalAccesses())
+	}
+	if got := tr.HitRate(-1); got < 0.33 || got > 0.34 {
+		t.Fatalf("aggregate hit rate = %v, want 1/3", got)
+	}
+}
+
+func TestHitRateEmpty(t *testing.T) {
+	h, _ := NewHierarchy(tinyConfig())
+	if h.Snapshot().HitRate(-1) != 0 {
+		t.Fatal("empty hit rate should be 0")
+	}
+}
+
+func TestReset(t *testing.T) {
+	h, _ := NewHierarchy(tinyConfig())
+	h.Touch(RegionA, 0, 8)
+	h.Reset()
+	if h.Snapshot().TotalAccesses() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	// Cache contents survive: the next touch is a hit.
+	h.Touch(RegionA, 0, 8)
+	tr := h.Snapshot()
+	if tr.Served[RegionA][0] != 1 {
+		t.Fatal("Reset cleared cache contents")
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	if RegionB.String() != "B" || RegionAccum.String() != "accum" {
+		t.Fatal("region names wrong")
+	}
+	if Region(99).String() == "" {
+		t.Fatal("unknown region should render")
+	}
+	if len(Regions()) != int(numRegions) {
+		t.Fatal("Regions() incomplete")
+	}
+}
+
+func TestInclusiveFill(t *testing.T) {
+	h, _ := NewHierarchy(tinyConfig())
+	h.Touch(RegionA, 0, 8) // memory; fills L1 and L2
+	// Thrash L1 set 0 so line 0 is evicted from L1 but lives in L2.
+	h.Touch(RegionA, 2*64, 8)
+	h.Touch(RegionA, 4*64, 8)
+	h.Touch(RegionA, 0, 8) // must be served by L2
+	tr := h.Snapshot()
+	if tr.Served[RegionA][1] != 1 {
+		t.Fatalf("L2 hits = %d, want 1 (inclusive fill)", tr.Served[RegionA][1])
+	}
+}

@@ -1,0 +1,180 @@
+package cachesim
+
+import (
+	"fmt"
+)
+
+// MissClass breaks one level's misses into the classic three C's:
+//
+//   - compulsory: the line was never referenced before;
+//   - capacity: the line was referenced before but would also have
+//     missed in a fully-associative LRU cache of the same size (the
+//     working set simply exceeds the capacity);
+//   - conflict: the fully-associative cache of the same size would
+//     have hit — the miss is an artefact of set mapping.
+//
+// The conflict column is what the strip-packing rearrangement of
+// Sec. V-B eliminates: unpacked power-of-two-stride strips generate
+// almost pure conflict misses.
+type MissClass struct {
+	Hits       int64
+	Compulsory int64
+	Capacity   int64
+	Conflict   int64
+}
+
+// Misses returns the total miss count.
+func (m MissClass) Misses() int64 { return m.Compulsory + m.Capacity + m.Conflict }
+
+// Classifier wraps a single cache level plus a same-capacity
+// fully-associative LRU shadow to classify every access. It implements
+// the same Touch surface as Hierarchy, restricted to one level, so the
+// traced kernels can run against it unchanged.
+type Classifier struct {
+	lineShift uint
+	lineSize  int
+	level     *level
+	shadow    *falru
+	seen      map[uint64]struct{}
+
+	perRegion [numRegions]MissClass
+}
+
+// NewClassifier builds a classifier for one level configuration.
+func NewClassifier(cfg LevelConfig, lineSize int) (*Classifier, error) {
+	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("cachesim: line size %d must be a positive power of two", lineSize)
+	}
+	lv, err := newLevel(cfg, lineSize)
+	if err != nil {
+		return nil, err
+	}
+	shift := uint(0)
+	for 1<<shift != lineSize {
+		shift++
+	}
+	return &Classifier{
+		lineShift: shift,
+		lineSize:  lineSize,
+		level:     lv,
+		shadow:    newFALRU(cfg.Size / lineSize),
+		seen:      make(map[uint64]struct{}, 1<<16),
+	}, nil
+}
+
+// Touch accesses `size` bytes at `offset` of region r, classifying
+// every covered line.
+func (c *Classifier) Touch(r Region, offset int64, size int) {
+	if size <= 0 {
+		return
+	}
+	addr := regionBase(r) + uint64(offset)
+	first := addr >> c.lineShift
+	last := (addr + uint64(size) - 1) >> c.lineShift
+	for line := first; line <= last; line++ {
+		realHit := c.level.access(line)
+		shadowHit := c.shadow.access(line)
+		cls := &c.perRegion[r]
+		switch {
+		case realHit:
+			cls.Hits++
+		default:
+			if _, ok := c.seen[line]; !ok {
+				c.seen[line] = struct{}{}
+				cls.Compulsory++
+			} else if shadowHit {
+				cls.Conflict++
+			} else {
+				cls.Capacity++
+			}
+		}
+	}
+}
+
+// Region returns region r's classification.
+func (c *Classifier) Region(r Region) MissClass { return c.perRegion[r] }
+
+// Total sums all regions.
+func (c *Classifier) Total() MissClass {
+	var t MissClass
+	for _, m := range c.perRegion {
+		t.Hits += m.Hits
+		t.Compulsory += m.Compulsory
+		t.Capacity += m.Capacity
+		t.Conflict += m.Conflict
+	}
+	return t
+}
+
+// falru is a fully-associative LRU cache implemented as a doubly-linked
+// list over a map — O(1) per access.
+type falru struct {
+	capacity int
+	nodes    map[uint64]*falruNode
+	head     *falruNode // MRU
+	tail     *falruNode // LRU
+}
+
+type falruNode struct {
+	line       uint64
+	prev, next *falruNode
+}
+
+func newFALRU(capacity int) *falru {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &falru{capacity: capacity, nodes: make(map[uint64]*falruNode, capacity+1)}
+}
+
+// access returns whether the line hit, updating recency and evicting
+// the LRU line on insertion past capacity.
+func (f *falru) access(line uint64) bool {
+	if n, ok := f.nodes[line]; ok {
+		f.moveToFront(n)
+		return true
+	}
+	n := &falruNode{line: line}
+	f.nodes[line] = n
+	f.pushFront(n)
+	if len(f.nodes) > f.capacity {
+		evict := f.tail
+		f.unlink(evict)
+		delete(f.nodes, evict.line)
+	}
+	return false
+}
+
+func (f *falru) pushFront(n *falruNode) {
+	n.prev = nil
+	n.next = f.head
+	if f.head != nil {
+		f.head.prev = n
+	}
+	f.head = n
+	if f.tail == nil {
+		f.tail = n
+	}
+}
+
+func (f *falru) unlink(n *falruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		f.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		f.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (f *falru) moveToFront(n *falruNode) {
+	if f.head == n {
+		return
+	}
+	f.unlink(n)
+	f.pushFront(n)
+}

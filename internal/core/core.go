@@ -1,0 +1,233 @@
+// Package core implements the paper's contribution: the sparse MTTKRP
+// kernel family built around the SPLATT storage format, the two
+// blocking optimisations of Sec. V (multi-dimensional blocking and
+// rank blocking with register blocking), and the Sec. V-C block-size
+// heuristic.
+//
+// All kernels compute the mode-1 MTTKRP
+//
+//	A = X₍₁₎ · (B ⊙ C)
+//
+// for a third-order sparse tensor X ∈ R^{I×J×K} and factor matrices
+// B ∈ R^{J×R}, C ∈ R^{K×R}, accumulating into an I×R output. Mode-2
+// and mode-3 products are served by permuting the tensor's modes first
+// (the three products are structurally identical — Sec. III-B).
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"spblock/internal/la"
+	"spblock/internal/tensor"
+)
+
+// Method selects an MTTKRP kernel.
+type Method int
+
+const (
+	// MethodCOO is the coordinate-format reference kernel (Sec. III-C1).
+	MethodCOO Method = iota
+	// MethodSPLATT is Algorithm 1, the baseline the paper optimises.
+	MethodSPLATT
+	// MethodMB applies multi-dimensional blocking (Sec. V-A).
+	MethodMB
+	// MethodRankB applies rank blocking with register blocking
+	// (Sec. V-B, Algorithm 2).
+	MethodRankB
+	// MethodMBRankB combines both blockings (Figure 3b).
+	MethodMBRankB
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodCOO:
+		return "COO"
+	case MethodSPLATT:
+		return "SPLATT"
+	case MethodMB:
+		return "MB"
+	case MethodRankB:
+		return "RankB"
+	case MethodMBRankB:
+		return "MB+RankB"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// RegisterBlockWidth is NRegB of Algorithm 2: the number of columns
+// processed with fully unrolled scalar accumulators. 16 float64 lanes
+// are two 64-byte cache lines, the paper's choice ("a multiple of the
+// cache line size").
+const RegisterBlockWidth = 16
+
+// Plan describes how to execute MTTKRP on one tensor.
+type Plan struct {
+	Method Method
+	// Grid is the MB block grid (blocks along mode-1, mode-2, mode-3).
+	// {1,1,1} means unblocked. Only used by MethodMB and MethodMBRankB.
+	Grid [3]int
+	// RankBlockCols is BS_RankB of Algorithm 2, the number of columns
+	// per rank strip. 0 means "whole rank" (no rank blocking). Only
+	// used by MethodRankB and MethodMBRankB.
+	RankBlockCols int
+	// NoStripPacking disables the Sec. V-B "stacked strips" factor
+	// rearrangement and runs rank strips directly on the stride-R
+	// matrices. This exists as an ablation knob: with power-of-two
+	// ranks the unpacked strips conflict-miss pathologically, which is
+	// precisely why the paper prescribes the rearrangement.
+	NoStripPacking bool
+	// Workers is the parallelism degree; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (p Plan) String() string {
+	s := p.Method.String()
+	if p.Method == MethodMB || p.Method == MethodMBRankB {
+		s += fmt.Sprintf(" grid=%dx%dx%d", p.Grid[0], p.Grid[1], p.Grid[2])
+	}
+	if p.Method == MethodRankB || p.Method == MethodMBRankB {
+		s += fmt.Sprintf(" bs=%d", p.RankBlockCols)
+	}
+	return s
+}
+
+func (p Plan) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// validateOperands checks the factor shapes against the tensor dims.
+func validateOperands(dims tensor.Dims, b, c, out *la.Matrix) error {
+	if b.Cols != c.Cols || b.Cols != out.Cols {
+		return fmt.Errorf("core: rank mismatch: B has %d cols, C %d, out %d",
+			b.Cols, c.Cols, out.Cols)
+	}
+	if b.Cols == 0 {
+		return fmt.Errorf("core: rank must be positive")
+	}
+	if out.Rows != dims[0] {
+		return fmt.Errorf("core: out has %d rows, tensor mode-1 length is %d", out.Rows, dims[0])
+	}
+	if b.Rows != dims[1] {
+		return fmt.Errorf("core: B has %d rows, tensor mode-2 length is %d", b.Rows, dims[1])
+	}
+	if c.Rows != dims[2] {
+		return fmt.Errorf("core: C has %d rows, tensor mode-3 length is %d", c.Rows, dims[2])
+	}
+	return nil
+}
+
+// Executor owns the preprocessed tensor structures for one plan and
+// runs MTTKRP repeatedly against them — matching how CP-ALS calls
+// MTTKRP 10–1000s of times per decomposition, amortising the
+// (cheap, Sec. V-A) data reorganisation.
+type Executor struct {
+	plan    Plan
+	dims    tensor.Dims
+	csf     *tensor.CSF    // for SPLATT / RankB
+	blocked *BlockedTensor // for MB / MB+RankB
+	coo     *tensor.COO    // for COO
+}
+
+// NewExecutor preprocesses t according to plan. The input tensor is
+// not retained except by the COO method.
+func NewExecutor(t *tensor.COO, plan Plan) (*Executor, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Executor{plan: plan, dims: t.Dims}
+	switch plan.Method {
+	case MethodCOO:
+		e.coo = t
+	case MethodSPLATT, MethodRankB:
+		csf, err := tensor.BuildCSF(t)
+		if err != nil {
+			return nil, err
+		}
+		e.csf = csf
+	case MethodMB, MethodMBRankB:
+		bt, err := BuildBlocked(t, plan.Grid)
+		if err != nil {
+			return nil, err
+		}
+		e.blocked = bt
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", plan.Method)
+	}
+	if plan.Method == MethodRankB || plan.Method == MethodMBRankB {
+		if plan.RankBlockCols < 0 {
+			return nil, fmt.Errorf("core: negative RankBlockCols %d", plan.RankBlockCols)
+		}
+	}
+	return e, nil
+}
+
+// Plan returns the executor's plan.
+func (e *Executor) Plan() Plan { return e.plan }
+
+// Dims returns the tensor shape.
+func (e *Executor) Dims() tensor.Dims { return e.dims }
+
+// Run computes out = MTTKRP(X, B, C). out is zeroed first.
+func (e *Executor) Run(b, c, out *la.Matrix) error {
+	if err := validateOperands(e.dims, b, c, out); err != nil {
+		return err
+	}
+	out.Zero()
+	workers := e.plan.workers()
+	switch e.plan.Method {
+	case MethodCOO:
+		cooKernelParallel(e.coo, b, c, out, workers)
+	case MethodSPLATT:
+		splattParallel(e.csf, b, c, out, workers)
+	case MethodRankB:
+		// Strips are driven from outside the kernel so each strip's
+		// factor columns can be packed contiguously (Sec. V-B); the
+		// kernel then register-blocks within the packed strip.
+		e.stripDriver()(b, c, out, e.rankBlock(out.Cols), func(pb, pc, po *la.Matrix) {
+			rankBParallel(e.csf, pb, pc, po, po.Cols, workers)
+		})
+	case MethodMB:
+		mbParallel(e.blocked, b, c, out, 0, workers)
+	case MethodMBRankB:
+		// Figure 3b: the rank dimension is the outermost loop; inside a
+		// strip the spatial blocks run with register blocking.
+		e.stripDriver()(b, c, out, e.rankBlock(out.Cols), func(pb, pc, po *la.Matrix) {
+			mbParallel(e.blocked, pb, pc, po, po.Cols, workers)
+		})
+	}
+	return nil
+}
+
+// stripDriver selects the packed (default) or unpacked (ablation)
+// strip execution.
+func (e *Executor) stripDriver() func(b, c, out *la.Matrix, bs int, run func(pb, pc, po *la.Matrix)) {
+	if e.plan.NoStripPacking {
+		return runStrippedUnpacked
+	}
+	return runStripped
+}
+
+// rankBlock resolves the effective strip width for rank R.
+func (e *Executor) rankBlock(r int) int {
+	bs := e.plan.RankBlockCols
+	if bs <= 0 || bs > r {
+		return r
+	}
+	return bs
+}
+
+// MTTKRP is the one-shot convenience entry point: it builds an
+// executor for plan and runs it once. Repeated products over the same
+// tensor should build an Executor instead.
+func MTTKRP(t *tensor.COO, b, c, out *la.Matrix, plan Plan) error {
+	e, err := NewExecutor(t, plan)
+	if err != nil {
+		return err
+	}
+	return e.Run(b, c, out)
+}

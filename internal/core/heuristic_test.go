@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spblock/internal/la"
+	"spblock/internal/tensor"
+)
+
+func TestMBModeOrder(t *testing.T) {
+	cases := []struct {
+		dims tensor.Dims
+		want [3]int
+	}{
+		// Longest first: Poisson2-like shape blocks mode-2 (j) first.
+		{tensor.Dims{2000, 16000, 2000}, [3]int{1, 2, 0}},
+		// All equal: access-volume order mode-2, mode-3, mode-1.
+		{tensor.Dims{100, 100, 100}, [3]int{1, 2, 0}},
+		// Netflix-like: huge mode-1 first, then mode-2, then tiny mode-3.
+		{tensor.Dims{480000, 18000, 80}, [3]int{0, 1, 2}},
+		// Mode-3 longest (NELL2-like).
+		{tensor.Dims{12000, 9000, 29000}, [3]int{2, 0, 1}},
+	}
+	for _, tc := range cases {
+		if got := mbModeOrder(tc.dims); got != tc.want {
+			t.Fatalf("dims %v: order = %v, want %v", tc.dims, got, tc.want)
+		}
+	}
+}
+
+// convexCost builds a synthetic cost with a single optimum, so the
+// search procedures can be verified deterministically.
+func convexRankCost(optBS int, rank int) CostFunc {
+	return func(p Plan) float64 {
+		bs := p.RankBlockCols
+		if bs == 0 {
+			bs = rank
+		}
+		d := float64(bs - optBS)
+		return 100 + d*d
+	}
+}
+
+func TestSearchRankBFindsSweetSpot(t *testing.T) {
+	// Optimum at 48 columns: search must walk 16, 32, 48, 64 and stop.
+	var trials []Trial
+	best := searchRankB(Plan{Method: MethodRankB}, 512, convexRankCost(48, 512), 0.001, &trials)
+	if best.RankBlockCols != 48 {
+		t.Fatalf("best bs = %d, want 48 (trials: %v)", best.RankBlockCols, trials)
+	}
+	// Stopping rule: must not have probed far past the optimum.
+	if len(trials) > 6 {
+		t.Fatalf("search did not stop after worsening: %d trials", len(trials))
+	}
+}
+
+func TestSearchRankBKeepsBaselineWhenBlockingHurts(t *testing.T) {
+	// Monotonically worse with more blocks (Poisson3's regime in
+	// Figure 4): the unblocked plan must win.
+	cost := func(p Plan) float64 {
+		if p.RankBlockCols == 0 {
+			return 1.0
+		}
+		return 2.0 + 1/float64(p.RankBlockCols)
+	}
+	var trials []Trial
+	best := searchRankB(Plan{Method: MethodRankB}, 256, cost, 0.01, &trials)
+	if best.RankBlockCols != 0 {
+		t.Fatalf("best bs = %d, want 0 (no blocking)", best.RankBlockCols)
+	}
+}
+
+func TestSearchMBFollowsModeOrder(t *testing.T) {
+	// Cost optimal at grid {1, 8, 2} for a mode-2-dominant shape.
+	dims := tensor.Dims{100, 1000, 100}
+	opt := [3]int{1, 8, 2}
+	cost := func(p Plan) float64 {
+		var d float64
+		for m := 0; m < 3; m++ {
+			diff := math.Log2(float64(p.Grid[m])) - math.Log2(float64(opt[m]))
+			d += diff * diff
+		}
+		return 10 + d
+	}
+	var trials []Trial
+	best := searchMB(Plan{Method: MethodMB}, dims, cost, 0.0001, &trials)
+	if best.Grid != opt {
+		t.Fatalf("grid = %v, want %v", best.Grid, opt)
+	}
+}
+
+func TestSearchMBStaysUnblockedWhenBlockingHurts(t *testing.T) {
+	dims := tensor.Dims{64, 64, 64}
+	cost := func(p Plan) float64 {
+		return float64(p.Grid[0] * p.Grid[1] * p.Grid[2]) // any blocking hurts
+	}
+	var trials []Trial
+	best := searchMB(Plan{Method: MethodMB}, dims, cost, 0.01, &trials)
+	if best.Grid != [3]int{1, 1, 1} {
+		t.Fatalf("grid = %v, want 1x1x1", best.Grid)
+	}
+}
+
+func TestSearchMBRespectsModeLengths(t *testing.T) {
+	// A mode of length 3 can never get more than 3 blocks (doubling
+	// stops at the mode length).
+	dims := tensor.Dims{3, 3, 3}
+	cost := func(p Plan) float64 {
+		return 1 / float64(p.Grid[0]*p.Grid[1]*p.Grid[2]) // more blocks always better
+	}
+	var trials []Trial
+	best := searchMB(Plan{Method: MethodMB}, dims, cost, 0.0001, &trials)
+	for m := 0; m < 3; m++ {
+		if best.Grid[m] > 3 {
+			t.Fatalf("grid[%d] = %d exceeds mode length", m, best.Grid[m])
+		}
+	}
+	if best.Grid != [3]int{2, 2, 2} {
+		t.Fatalf("grid = %v, want 2x2x2 (doubling stops at mode length)", best.Grid)
+	}
+}
+
+func TestAutotuneWithCostCombined(t *testing.T) {
+	// MB+RankB: grid tuned first, then rank strips on the frozen grid.
+	dims := tensor.Dims{64, 512, 64}
+	optGrid := [3]int{1, 4, 1}
+	optBS := 32
+	cost := func(p Plan) float64 {
+		var d float64
+		for m := 0; m < 3; m++ {
+			diff := math.Log2(float64(p.Grid[m])) - math.Log2(float64(optGrid[m]))
+			d += diff * diff
+		}
+		bs := p.RankBlockCols
+		if bs == 0 {
+			bs = 256
+		}
+		d += math.Abs(float64(bs-optBS)) / 16
+		return 10 + d
+	}
+	plan, trials, err := AutotuneWithCost(dims, 256, MethodMBRankB, Plan{Method: MethodMBRankB}, cost, AutotuneOptions{Tolerance: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Grid != optGrid {
+		t.Fatalf("grid = %v, want %v", plan.Grid, optGrid)
+	}
+	if plan.RankBlockCols != optBS {
+		t.Fatalf("bs = %d, want %d", plan.RankBlockCols, optBS)
+	}
+	if plan.Method != MethodMBRankB {
+		t.Fatalf("method = %v", plan.Method)
+	}
+	if len(trials) == 0 {
+		t.Fatal("no trial log")
+	}
+}
+
+func TestAutotuneEndToEnd(t *testing.T) {
+	// Real wall-clock autotune on a small tensor: we only assert
+	// structural validity of the outcome and that the tuned plan still
+	// computes correct results (timing noise makes the chosen sizes
+	// machine-dependent by design).
+	rng := rand.New(rand.NewSource(8))
+	x := randCOO(rng, tensor.Dims{32, 48, 24}, 2000)
+	rank := 32
+	for _, method := range []Method{MethodRankB, MethodMB, MethodMBRankB} {
+		plan, trials, err := Autotune(x, rank, method, AutotuneOptions{Trials: 1, Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if plan.Method != method {
+			t.Fatalf("method mangled: %v -> %v", method, plan.Method)
+		}
+		for m := 0; m < 3; m++ {
+			if plan.Grid[m] < 1 || plan.Grid[m] > x.Dims[m] {
+				t.Fatalf("%v: grid %v out of range", method, plan.Grid)
+			}
+		}
+		if plan.RankBlockCols < 0 || plan.RankBlockCols > rank {
+			t.Fatalf("%v: bs = %d out of range", method, plan.RankBlockCols)
+		}
+		if plan.RankBlockCols%RegisterBlockWidth != 0 {
+			t.Fatalf("%v: bs = %d not a multiple of the register width", method, plan.RankBlockCols)
+		}
+		if method != MethodSPLATT && len(trials) == 0 {
+			t.Fatalf("%v: empty trial log", method)
+		}
+		// Tuned plan must still be correct.
+		b := randMatrix(rng, x.Dims[1], rank)
+		c := randMatrix(rng, x.Dims[2], rank)
+		want := la.NewMatrix(x.Dims[0], rank)
+		if err := Reference(x, b, c, want); err != nil {
+			t.Fatal(err)
+		}
+		got := la.NewMatrix(x.Dims[0], rank)
+		if err := MTTKRP(x, b, c, got, plan); err != nil {
+			t.Fatal(err)
+		}
+		if d := got.MaxAbsDiff(want); d > 1e-9 {
+			t.Fatalf("%v: tuned plan wrong by %v", method, d)
+		}
+	}
+}
+
+func TestAutotuneTrivialMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := randCOO(rng, tensor.Dims{8, 8, 8}, 50)
+	for _, m := range []Method{MethodCOO, MethodSPLATT} {
+		plan, trials, err := Autotune(x, 16, m, AutotuneOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(trials) != 0 {
+			t.Fatalf("%v: unexpected trials", m)
+		}
+		if plan.Method != m {
+			t.Fatalf("%v: plan method %v", m, plan.Method)
+		}
+	}
+}
+
+func TestAutotuneErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x := randCOO(rng, tensor.Dims{8, 8, 8}, 50)
+	if _, _, err := Autotune(x, 0, MethodMB, AutotuneOptions{}); err == nil {
+		t.Fatal("rank 0 accepted")
+	}
+	bad := tensor.NewCOO(tensor.Dims{2, 2, 2}, 0)
+	bad.Append(5, 0, 0, 1)
+	if _, _, err := Autotune(bad, 16, MethodMB, AutotuneOptions{}); err == nil {
+		t.Fatal("invalid tensor accepted")
+	}
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"sync"
+
+	"spblock/internal/la"
+	"spblock/internal/tensor"
+)
+
+// cooKernel is the coordinate-format MTTKRP of Sec. III-C1: for every
+// nonzero (i,j,k,v), A[i] += v * (B[j] .* C[k]). It performs the
+// Khatri-Rao product "on the fly" per nonzero and is the natural
+// baseline the SPLATT format improves upon (the fiber accumulator
+// saves the per-nonzero multiply against C).
+func cooKernel(t *tensor.COO, b, c, out *la.Matrix) {
+	r := out.Cols
+	for p := 0; p < t.NNZ(); p++ {
+		v := t.Val[p]
+		brow := b.Row(int(t.J[p]))
+		crow := c.Row(int(t.K[p]))
+		orow := out.Row(int(t.I[p]))
+		for q := 0; q < r; q++ {
+			orow[q] += v * brow[q] * crow[q]
+		}
+	}
+}
+
+// cooKernelParallel parallelises the COO kernel over nonzero ranges.
+// Unlike SPLATT's slice sharing, COO ranges do not own disjoint output
+// rows, so each worker accumulates into a private output copy and the
+// copies are reduced afterwards — the standard privatisation scheme,
+// whose O(workers · I · R) reduction overhead is one more reason the
+// fiber-ordered SPLATT layout wins (Sec. III-C).
+func cooKernelParallel(t *tensor.COO, b, c, out *la.Matrix, workers int) {
+	n := t.NNZ()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		cooKernel(t, b, c, out)
+		return
+	}
+	privates := make([]*la.Matrix, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			priv := la.NewMatrix(out.Rows, out.Cols)
+			privates[w] = priv
+			r := out.Cols
+			for p := lo; p < hi; p++ {
+				v := t.Val[p]
+				brow := b.Row(int(t.J[p]))
+				crow := c.Row(int(t.K[p]))
+				orow := priv.Row(int(t.I[p]))
+				for q := 0; q < r; q++ {
+					orow[q] += v * brow[q] * crow[q]
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, priv := range privates {
+		if priv == nil {
+			continue
+		}
+		for i := 0; i < out.Rows; i++ {
+			dst, src := out.Row(i), priv.Row(i)
+			for q := range dst {
+				dst[q] += src[q]
+			}
+		}
+	}
+}
+
+// splattRange runs Algorithm 1 over slices [lo, hi) of the CSF
+// structure, using accum as the per-fiber accumulator array s.
+//
+// This is a line-for-line transcription of the paper's Algorithm 1:
+// the inner loop multiplies each nonzero against a row of B into the
+// accumulator; the fiber epilogue scales the accumulator by the row of
+// C and adds it into the output row.
+func splattRange(t *tensor.CSF, b, c, out *la.Matrix, accum []float64, lo, hi int) {
+	r := out.Cols
+	for s := lo; s < hi; s++ {
+		orow := out.Row(int(t.SliceID[s]))
+		for f := t.SlicePtr[s]; f < t.SlicePtr[s+1]; f++ {
+			clear(accum)
+			for p := t.FiberPtr[f]; p < t.FiberPtr[f+1]; p++ {
+				v := t.Val[p]
+				brow := b.Row(int(t.NzJ[p]))
+				for q := 0; q < r; q++ {
+					accum[q] += v * brow[q]
+				}
+			}
+			crow := c.Row(int(t.FiberK[f]))
+			for q := 0; q < r; q++ {
+				orow[q] += accum[q] * crow[q]
+			}
+		}
+	}
+}
+
+// splattSequential runs Algorithm 1 over the whole tensor.
+func splattSequential(t *tensor.CSF, b, c, out *la.Matrix) {
+	accum := make([]float64, out.Cols)
+	splattRange(t, b, c, out, accum, 0, t.NumSlices())
+}
+
+// sliceShares partitions slices [0, n) into at most workers contiguous
+// ranges with approximately balanced nonzero counts, using the CSF
+// pointer arrays. Distinct slices own distinct output rows, so ranges
+// can run concurrently without synchronisation (this is SPLATT's own
+// parallelisation strategy).
+func sliceShares(t *tensor.CSF, workers int) [][2]int {
+	n := t.NumSlices()
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n == 0 {
+			return nil
+		}
+		return [][2]int{{0, n}}
+	}
+	nnz := t.NNZ()
+	shares := make([][2]int, 0, workers)
+	target := nnz / workers
+	lo := 0
+	for w := 0; w < workers && lo < n; w++ {
+		if w == workers-1 {
+			shares = append(shares, [2]int{lo, n})
+			break
+		}
+		// Advance hi until this share holds ~target nonzeros.
+		hi := lo
+		startNNZ := int(t.FiberPtr[t.SlicePtr[lo]])
+		for hi < n {
+			hi++
+			done := int(t.FiberPtr[t.SlicePtr[hi]]) - startNNZ
+			if done >= target {
+				break
+			}
+		}
+		shares = append(shares, [2]int{lo, hi})
+		lo = hi
+	}
+	return shares
+}
+
+// splattParallel runs Algorithm 1 with slice-range work sharing.
+func splattParallel(t *tensor.CSF, b, c, out *la.Matrix, workers int) {
+	shares := sliceShares(t, workers)
+	if len(shares) <= 1 {
+		splattSequential(t, b, c, out)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, sh := range shares {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			accum := make([]float64, out.Cols)
+			splattRange(t, b, c, out, accum, lo, hi)
+		}(sh[0], sh[1])
+	}
+	wg.Wait()
+}
+
+// rankBRange is Algorithm 2 over slices [lo, hi): the rank is swept in
+// strips of bs columns (the outer `while rr < R` loop), and within a
+// strip each fiber is processed in RegisterBlockWidth-wide register
+// blocks whose accumulators live entirely in scalar locals — the
+// register blocking that removes the accumulator-array loads the PPA
+// identified as a bottleneck (Table I, type 3).
+func rankBRange(t *tensor.CSF, b, c, out *la.Matrix, bs, lo, hi int) {
+	r := out.Cols
+	if bs <= 0 || bs > r {
+		bs = r
+	}
+	for rr := 0; rr < r; rr += bs {
+		stripEnd := rr + bs
+		if stripEnd > r {
+			stripEnd = r
+		}
+		for s := lo; s < hi; s++ {
+			i := int(t.SliceID[s])
+			for f := t.SlicePtr[s]; f < t.SlicePtr[s+1]; f++ {
+				pLo, pHi := int(t.FiberPtr[f]), int(t.FiberPtr[f+1])
+				k := int(t.FiberK[f])
+				r0 := rr
+				for ; r0+RegisterBlockWidth <= stripEnd; r0 += RegisterBlockWidth {
+					fiber16(t, b, c, out, pLo, pHi, i, k, r0)
+				}
+				if r0 < stripEnd {
+					fiberTail(t, b, c, out, pLo, pHi, i, k, r0, stripEnd)
+				}
+			}
+		}
+	}
+}
+
+// fiber16 processes one fiber for 16 consecutive columns starting at
+// r0, with all accumulators as scalar locals (registers). The nonzeros
+// of the fiber are re-read for every register block; their reuse
+// distance is tiny, so they come from L1 (Sec. V-B).
+func fiber16(t *tensor.CSF, b, c, out *la.Matrix, pLo, pHi, i, k, r0 int) {
+	var a0, a1, a2, a3, a4, a5, a6, a7 float64
+	var a8, a9, a10, a11, a12, a13, a14, a15 float64
+	bd, bs := b.Data, b.Stride
+	for p := pLo; p < pHi; p++ {
+		v := t.Val[p]
+		brow := bd[int(t.NzJ[p])*bs+r0:]
+		brow = brow[:16:16]
+		a0 += v * brow[0]
+		a1 += v * brow[1]
+		a2 += v * brow[2]
+		a3 += v * brow[3]
+		a4 += v * brow[4]
+		a5 += v * brow[5]
+		a6 += v * brow[6]
+		a7 += v * brow[7]
+		a8 += v * brow[8]
+		a9 += v * brow[9]
+		a10 += v * brow[10]
+		a11 += v * brow[11]
+		a12 += v * brow[12]
+		a13 += v * brow[13]
+		a14 += v * brow[14]
+		a15 += v * brow[15]
+	}
+	crow := c.Data[k*c.Stride+r0:]
+	crow = crow[:16:16]
+	orow := out.Data[i*out.Stride+r0:]
+	orow = orow[:16:16]
+	orow[0] += a0 * crow[0]
+	orow[1] += a1 * crow[1]
+	orow[2] += a2 * crow[2]
+	orow[3] += a3 * crow[3]
+	orow[4] += a4 * crow[4]
+	orow[5] += a5 * crow[5]
+	orow[6] += a6 * crow[6]
+	orow[7] += a7 * crow[7]
+	orow[8] += a8 * crow[8]
+	orow[9] += a9 * crow[9]
+	orow[10] += a10 * crow[10]
+	orow[11] += a11 * crow[11]
+	orow[12] += a12 * crow[12]
+	orow[13] += a13 * crow[13]
+	orow[14] += a14 * crow[14]
+	orow[15] += a15 * crow[15]
+}
+
+// fiberTail processes one fiber for columns [r0, r1) where the width
+// is below RegisterBlockWidth, with a small stack accumulator.
+func fiberTail(t *tensor.CSF, b, c, out *la.Matrix, pLo, pHi, i, k, r0, r1 int) {
+	var acc [RegisterBlockWidth]float64
+	w := r1 - r0
+	for p := pLo; p < pHi; p++ {
+		v := t.Val[p]
+		brow := b.Data[int(t.NzJ[p])*b.Stride+r0:]
+		for q := 0; q < w; q++ {
+			acc[q] += v * brow[q]
+		}
+	}
+	crow := c.Data[k*c.Stride+r0:]
+	orow := out.Data[i*out.Stride+r0:]
+	for q := 0; q < w; q++ {
+		orow[q] += acc[q] * crow[q]
+	}
+}
+
+// rankBParallel runs Algorithm 2 with slice-range work sharing.
+func rankBParallel(t *tensor.CSF, b, c, out *la.Matrix, bs, workers int) {
+	shares := sliceShares(t, workers)
+	if len(shares) <= 1 {
+		rankBRange(t, b, c, out, bs, 0, t.NumSlices())
+		return
+	}
+	var wg sync.WaitGroup
+	for _, sh := range shares {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			rankBRange(t, b, c, out, bs, lo, hi)
+		}(sh[0], sh[1])
+	}
+	wg.Wait()
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+
+	"spblock/internal/la"
+	"spblock/internal/tensor"
+)
+
+// Reference computes the mode-1 MTTKRP by explicitly materialising the
+// Khatri-Rao product B ⊙ C and multiplying the matricised tensor
+// against it — the textbook definition A = X₍₁₎·(B ⊙ C) of Sec. III-B.
+// It allocates a dense (J·K)×R matrix and exists purely as a
+// correctness oracle for the real kernels; the paper notes this is
+// "prohibitively expensive" at scale, so it refuses shapes where the
+// product would exceed ~64 M entries.
+func Reference(t *tensor.COO, b, c, out *la.Matrix) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if err := validateOperands(t.Dims, b, c, out); err != nil {
+		return err
+	}
+	if float64(b.Rows)*float64(c.Rows)*float64(b.Cols) > 64e6 {
+		return fmt.Errorf("core: Reference refuses %dx%d Khatri-Rao product (oracle only)",
+			b.Rows*c.Rows, b.Cols)
+	}
+	kr := la.KhatriRao(b, c)
+	out.Zero()
+	kDim := c.Rows
+	for p := 0; p < t.NNZ(); p++ {
+		v := t.Val[p]
+		krRow := kr.Row(int(t.J[p])*kDim + int(t.K[p]))
+		orow := out.Row(int(t.I[p]))
+		for q := range orow {
+			orow[q] += v * krRow[q]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"spblock/internal/la"
+	"spblock/internal/tensor"
+)
+
+func TestUnpackedStripsStayCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	dims := tensor.Dims{12, 14, 10}
+	x := randCOO(rng, dims, 250)
+	for _, rank := range []int{16, 17, 48, 65} {
+		b := randMatrix(rng, dims[1], rank)
+		c := randMatrix(rng, dims[2], rank)
+		want := la.NewMatrix(dims[0], rank)
+		if err := Reference(x, b, c, want); err != nil {
+			t.Fatal(err)
+		}
+		for _, plan := range []Plan{
+			{Method: MethodRankB, RankBlockCols: 16, NoStripPacking: true, Workers: 1},
+			{Method: MethodRankB, RankBlockCols: 32, NoStripPacking: true, Workers: 3},
+			{Method: MethodMBRankB, Grid: [3]int{2, 2, 2}, RankBlockCols: 16, NoStripPacking: true, Workers: 2},
+		} {
+			got := la.NewMatrix(dims[0], rank)
+			if err := MTTKRP(x, b, c, got, plan); err != nil {
+				t.Fatalf("rank %d %v: %v", rank, plan, err)
+			}
+			if d := got.MaxAbsDiff(want); d > 1e-9 {
+				t.Fatalf("rank %d %v: differs by %v", rank, plan, d)
+			}
+		}
+	}
+}
+
+func TestPackedAndUnpackedAgreeExactly(t *testing.T) {
+	// The two strip drivers must produce bit-identical results: packing
+	// only moves data, never reorders the arithmetic.
+	rng := rand.New(rand.NewSource(21))
+	dims := tensor.Dims{20, 30, 20}
+	x := randCOO(rng, dims, 500)
+	rank := 64
+	b := randMatrix(rng, dims[1], rank)
+	c := randMatrix(rng, dims[2], rank)
+	packed := la.NewMatrix(dims[0], rank)
+	unpacked := la.NewMatrix(dims[0], rank)
+	if err := MTTKRP(x, b, c, packed, Plan{Method: MethodRankB, RankBlockCols: 16, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := MTTKRP(x, b, c, unpacked, Plan{Method: MethodRankB, RankBlockCols: 16, NoStripPacking: true, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if d := packed.MaxAbsDiff(unpacked); d != 0 {
+		t.Fatalf("drivers disagree by %v (expected bit-identical)", d)
+	}
+}

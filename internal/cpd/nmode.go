@@ -1,0 +1,184 @@
+package cpd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"spblock/internal/la"
+	"spblock/internal/nmode"
+)
+
+// NOptions configures an order-N CP-ALS decomposition.
+type NOptions struct {
+	// Rank is the decomposition rank R. Required.
+	Rank int
+	// MaxIters bounds the ALS sweeps. Default 50.
+	MaxIters int
+	// Tol stops iteration when the fit improves by less than this.
+	// Default 1e-5.
+	Tol float64
+	// Kernel configures the N-mode MTTKRP (rank strips, workers).
+	Kernel nmode.Options
+	// Seed drives the random factor initialisation.
+	Seed int64
+}
+
+// NResult is a fitted order-N Kruskal tensor.
+type NResult struct {
+	Lambda    []float64
+	Factors   []*la.Matrix
+	Fits      []float64
+	Iters     int
+	Converged bool
+}
+
+// Fit returns the final fit, or 0 before any sweep ran.
+func (r *NResult) Fit() float64 {
+	if len(r.Fits) == 0 {
+		return 0
+	}
+	return r.Fits[len(r.Fits)-1]
+}
+
+// CPALSN decomposes an order-N sparse tensor with alternating least
+// squares, one CSF tree per mode (the higher-order generalisation the
+// paper defers to the CSF work of Smith & Karypis).
+func CPALSN(t *nmode.Tensor, opts NOptions) (*NResult, error) {
+	if opts.Rank <= 0 {
+		return nil, fmt.Errorf("cpd: rank must be positive, got %d", opts.Rank)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if t.Order() < 2 {
+		return nil, fmt.Errorf("cpd: CPALSN needs order >= 2")
+	}
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 50
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-5
+	}
+	n := t.Order()
+	r := opts.Rank
+
+	trees := make([]*nmode.CSF, n)
+	for mode := 0; mode < n; mode++ {
+		c, err := nmode.Build(t, nmode.DefaultModeOrder(t.Dims, mode))
+		if err != nil {
+			return nil, err
+		}
+		trees[mode] = c
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := &NResult{
+		Lambda:  make([]float64, r),
+		Factors: make([]*la.Matrix, n),
+	}
+	grams := make([]*la.Matrix, n)
+	for mode := 0; mode < n; mode++ {
+		m := la.NewMatrix(t.Dims[mode], r)
+		for i := range m.Data {
+			m.Data[i] = rng.Float64()
+		}
+		res.Factors[mode] = m
+		grams[mode] = la.Gram(m)
+	}
+
+	var normX float64
+	for _, v := range t.Val {
+		normX += v * v
+	}
+	normX = math.Sqrt(normX)
+
+	outs := make([]*la.Matrix, n)
+	for mode := 0; mode < n; mode++ {
+		outs[mode] = la.NewMatrix(t.Dims[mode], r)
+	}
+
+	prevFit := 0.0
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		for mode := 0; mode < n; mode++ {
+			if err := nmode.MTTKRP(trees[mode], res.Factors, outs[mode], opts.Kernel); err != nil {
+				return res, err
+			}
+			// V = hadamard of all other modes' Gram matrices.
+			var v *la.Matrix
+			for other := 0; other < n; other++ {
+				if other == mode {
+					continue
+				}
+				if v == nil {
+					v = grams[other].Clone()
+				} else {
+					la.HadamardInPlace(v, grams[other])
+				}
+			}
+			res.Factors[mode].CopyFrom(outs[mode])
+			if err := la.SolveSPD(v, res.Factors[mode]); err != nil {
+				return res, fmt.Errorf("cpd: mode-%d solve: %w", mode+1, err)
+			}
+			copy(res.Lambda, la.NormalizeColumns(res.Factors[mode]))
+			for q := 0; q < r; q++ {
+				if res.Lambda[q] == 0 {
+					for i := 0; i < res.Factors[mode].Rows; i++ {
+						res.Factors[mode].Set(i, q, rng.Float64())
+					}
+				}
+			}
+			grams[mode] = la.Gram(res.Factors[mode])
+		}
+
+		fit := computeFitN(normX, res, grams, outs[n-1])
+		res.Fits = append(res.Fits, fit)
+		res.Iters = iter + 1
+		if iter > 0 && math.Abs(fit-prevFit) < opts.Tol {
+			res.Converged = true
+			break
+		}
+		prevFit = fit
+	}
+	return res, nil
+}
+
+// computeFitN generalises computeFit: ⟨X, M⟩ falls out of the last
+// mode's MTTKRP against the (normalised) last factor and λ.
+func computeFitN(normX float64, res *NResult, grams []*la.Matrix, lastMTTKRP *la.Matrix) float64 {
+	r := len(res.Lambda)
+	var gAll *la.Matrix
+	for _, g := range grams {
+		if gAll == nil {
+			gAll = g.Clone()
+		} else {
+			la.HadamardInPlace(gAll, g)
+		}
+	}
+	var normM2 float64
+	for p := 0; p < r; p++ {
+		row := gAll.Row(p)
+		for q := 0; q < r; q++ {
+			normM2 += res.Lambda[p] * res.Lambda[q] * row[q]
+		}
+	}
+	if normM2 < 0 {
+		normM2 = 0
+	}
+	var inner float64
+	last := res.Factors[len(res.Factors)-1]
+	for i := 0; i < last.Rows; i++ {
+		frow, mrow := last.Row(i), lastMTTKRP.Row(i)
+		for q := 0; q < r; q++ {
+			inner += res.Lambda[q] * frow[q] * mrow[q]
+		}
+	}
+	residual2 := normX*normX + normM2 - 2*inner
+	if residual2 < 0 {
+		residual2 = 0
+	}
+	if normX == 0 {
+		return 1
+	}
+	return 1 - math.Sqrt(residual2)/normX
+}

@@ -1,0 +1,137 @@
+package cpd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spblock/internal/la"
+	"spblock/internal/nmode"
+	"spblock/internal/tensor"
+)
+
+// plantedTensorN builds a dense order-N tensor of exact rank r.
+func plantedTensorN(seed int64, dims []int, r int) *nmode.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	factors := make([]*la.Matrix, len(dims))
+	for m, d := range dims {
+		factors[m] = la.NewMatrix(d, r)
+		for i := range factors[m].Data {
+			factors[m].Data[i] = rng.Float64() + 0.1
+		}
+	}
+	t := nmode.NewTensor(dims, 0)
+	coords := make([]nmode.Index, len(dims))
+	var fill func(mode int)
+	fill = func(mode int) {
+		if mode == len(dims) {
+			var s float64
+			for q := 0; q < r; q++ {
+				v := 1.0
+				for m := range dims {
+					v *= factors[m].At(int(coords[m]), q)
+				}
+				s += v
+			}
+			t.Append(coords, s)
+			return
+		}
+		for i := 0; i < dims[mode]; i++ {
+			coords[mode] = nmode.Index(i)
+			fill(mode + 1)
+		}
+	}
+	fill(0)
+	return t
+}
+
+func TestCPALSNValidation(t *testing.T) {
+	x := plantedTensorN(1, []int{3, 3, 3}, 1)
+	if _, err := CPALSN(x, NOptions{Rank: 0}); err == nil {
+		t.Fatal("rank 0 accepted")
+	}
+	bad := nmode.NewTensor([]int{2, 2}, 0)
+	bad.Append([]nmode.Index{5, 0}, 1)
+	if _, err := CPALSN(bad, NOptions{Rank: 2}); err == nil {
+		t.Fatal("invalid tensor accepted")
+	}
+}
+
+func TestCPALSNRecoversOrder4Structure(t *testing.T) {
+	dims := []int{5, 6, 4, 5}
+	x := plantedTensorN(2, dims, 2)
+	res, err := CPALSN(x, NOptions{Rank: 2, MaxIters: 300, Tol: 1e-11, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fit() < 0.995 {
+		t.Fatalf("fit = %v, want > 0.995 for an exactly rank-2 tensor", res.Fit())
+	}
+	if len(res.Factors) != 4 || len(res.Lambda) != 2 {
+		t.Fatal("result shape wrong")
+	}
+}
+
+func TestCPALSNMatchesThreeModeCPALS(t *testing.T) {
+	// On an order-3 tensor, the generic N-mode path and the specialised
+	// third-order path must converge to comparable fits.
+	dims3 := []int{8, 7, 6}
+	xN := plantedTensorN(3, dims3, 3)
+
+	res, err := CPALSN(xN, NOptions{Rank: 3, MaxIters: 60, Tol: 1e-10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The specialised path on the same data.
+	x3 := tensorFromN(xN)
+	res3, err := CPALS(x3, Options{Rank: 3, MaxIters: 60, Tol: 1e-10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Fit()-res3.Fit()) > 0.02 {
+		t.Fatalf("N-mode fit %v vs 3-mode fit %v", res.Fit(), res3.Fit())
+	}
+}
+
+// tensorFromN converts an order-3 nmode.Tensor to the tensor.COO form.
+func tensorFromN(x *nmode.Tensor) *tensor.COO {
+	t := tensor.NewCOO(tensor.Dims{x.Dims[0], x.Dims[1], x.Dims[2]}, x.NNZ())
+	for p := 0; p < x.NNZ(); p++ {
+		t.Append(x.Idx[0][p], x.Idx[1][p], x.Idx[2][p], x.Val[p])
+	}
+	return t
+}
+
+func TestCPALSNMonotoneFits(t *testing.T) {
+	dims := []int{6, 5, 4, 3}
+	x := plantedTensorN(6, dims, 3)
+	res, err := CPALSN(x, NOptions{Rank: 2, MaxIters: 30, Tol: 1e-12, Seed: 7,
+		Kernel: nmode.Options{RankBlockCols: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Fits); i++ {
+		if res.Fits[i] < res.Fits[i-1]-1e-8 {
+			t.Fatalf("fit decreased at sweep %d: %v -> %v", i, res.Fits[i-1], res.Fits[i])
+		}
+	}
+	for _, f := range res.Fits {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			t.Fatalf("non-finite fit %v", f)
+		}
+	}
+}
+
+func TestCPALSNOrder2IsMatrixFactorisation(t *testing.T) {
+	// Order-2 CP is just a low-rank matrix factorisation; an exactly
+	// rank-1 matrix must fit essentially perfectly.
+	dims := []int{10, 12}
+	x := plantedTensorN(8, dims, 1)
+	res, err := CPALSN(x, NOptions{Rank: 1, MaxIters: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fit() < 0.9999 {
+		t.Fatalf("rank-1 matrix fit = %v", res.Fit())
+	}
+}

@@ -1,0 +1,137 @@
+// Package gen produces the synthetic data sets of Table II: Poisson
+// "count" tensors following the Chi & Kolda generative model the paper
+// cites, and clustered power-law tensors that stand in for the
+// real-world FROSTT sets (NELL-2, Netflix, Reddit, Amazon), which are
+// not redistributable inside this offline reproduction. The registry
+// keeps both the paper-scale shapes (for the record) and scaled-down
+// bench shapes that run on one core.
+//
+// All generators are deterministic functions of an explicit seed.
+package gen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SplitMix64 advances a splitmix64 state and returns the next value.
+// It is used to derive independent sub-stream seeds from one master
+// seed, so adding a new consumer of randomness never perturbs the
+// streams of existing ones.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d4a4f0d4f1f4b9
+	return z ^ (z >> 31)
+}
+
+// SubSeed returns the n-th derived seed of master.
+func SubSeed(master int64, n int) int64 {
+	state := uint64(master) ^ 0x6a09e667f3bcc909
+	var v uint64
+	for x := 0; x <= n; x++ {
+		v = SplitMix64(&state)
+	}
+	return int64(v)
+}
+
+// newRand builds a deterministic *rand.Rand for a derived stream.
+func newRand(master int64, stream int) *rand.Rand {
+	return rand.New(rand.NewSource(SubSeed(master, stream)))
+}
+
+// Categorical samples indices 0..n-1 with the given (unnormalised)
+// weights using the alias method, giving O(1) sampling after O(n)
+// setup. The mode-popularity distributions of the clustered generator
+// and the component distributions of the Poisson mixture both use it.
+type Categorical struct {
+	n      int
+	prob   []float64
+	alias  []int32
+	weight []float64 // retained normalised weights, for tests
+}
+
+// NewCategorical builds the alias table. Weights must be non-negative
+// with a positive sum.
+func NewCategorical(weights []float64) *Categorical {
+	n := len(weights)
+	if n == 0 {
+		panic("gen: empty categorical")
+	}
+	var sum float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("gen: negative categorical weight")
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		panic("gen: categorical weights sum to zero")
+	}
+	c := &Categorical{
+		n:      n,
+		prob:   make([]float64, n),
+		alias:  make([]int32, n),
+		weight: make([]float64, n),
+	}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		c.weight[i] = w / sum
+		scaled[i] = w / sum * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		c.prob[s] = scaled[s]
+		c.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		c.prob[i] = 1
+	}
+	for _, i := range small {
+		c.prob[i] = 1
+	}
+	return c
+}
+
+// Sample draws one index.
+func (c *Categorical) Sample(rng *rand.Rand) int {
+	i := rng.Intn(c.n)
+	if rng.Float64() < c.prob[i] {
+		return i
+	}
+	return int(c.alias[i])
+}
+
+// Weight returns the normalised probability of index i (test hook).
+func (c *Categorical) Weight(i int) float64 { return c.weight[i] }
+
+// PowerLawWeights returns n weights with w[r] ∝ 1/(r+1)^s applied to a
+// deterministic permutation of the indices, so "hub" indices are spread
+// over the whole mode rather than clustered at zero. Real tensor modes
+// (users, items, words) are heavy-tailed in exactly this way.
+func PowerLawWeights(n int, s float64, seed int64) []float64 {
+	rng := newRand(seed, 0)
+	perm := rng.Perm(n)
+	w := make([]float64, n)
+	for r := 0; r < n; r++ {
+		w[perm[r]] = math.Pow(1/float64(r+1), s)
+	}
+	return w
+}

@@ -1,0 +1,243 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestNewMatrixShape(t *testing.T) {
+	m := NewMatrix(3, 5)
+	if m.Rows != 3 || m.Cols != 5 || m.Stride != 5 {
+		t.Fatalf("unexpected shape: %+v", m)
+	}
+	if len(m.Data) != 15 {
+		t.Fatalf("data length = %d, want 15", len(m.Data))
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("new matrix not zeroed")
+		}
+	}
+}
+
+func TestNewMatrixPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dims")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := NewMatrix(4, 3)
+	m.Set(2, 1, 7.5)
+	if got := m.At(2, 1); got != 7.5 {
+		t.Fatalf("At(2,1) = %v, want 7.5", got)
+	}
+	row := m.Row(2)
+	if row[1] != 7.5 {
+		t.Fatalf("Row(2)[1] = %v, want 7.5", row[1])
+	}
+	row[0] = 3 // row must alias storage
+	if m.At(2, 0) != 3 {
+		t.Fatal("Row does not alias matrix storage")
+	}
+}
+
+func TestZeroWithStride(t *testing.T) {
+	m := NewMatrix(4, 8)
+	for i := range m.Data {
+		m.Data[i] = 1
+	}
+	v := m.ColumnView(2, 6)
+	v.Zero()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			want := 1.0
+			if j >= 2 && j < 6 {
+				want = 0
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("(%d,%d) = %v, want %v", i, j, m.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestColumnViewAliasesParent(t *testing.T) {
+	m := NewMatrix(3, 6)
+	v := m.ColumnView(2, 5)
+	if v.Rows != 3 || v.Cols != 3 || v.Stride != 6 {
+		t.Fatalf("view shape wrong: %+v", v)
+	}
+	v.Set(2, 2, 42)
+	if m.At(2, 4) != 42 {
+		t.Fatalf("view write did not reach parent: %v", m.At(2, 4))
+	}
+	m.Set(0, 2, 9)
+	if v.At(0, 0) != 9 {
+		t.Fatalf("parent write did not reach view: %v", v.At(0, 0))
+	}
+}
+
+func TestColumnViewBounds(t *testing.T) {
+	m := NewMatrix(2, 4)
+	for _, bad := range [][2]int{{-1, 2}, {0, 5}, {3, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("ColumnView(%d,%d) should panic", bad[0], bad[1])
+				}
+			}()
+			m.ColumnView(bad[0], bad[1])
+		}()
+	}
+	// Full-width and empty views are legal.
+	if v := m.ColumnView(0, 4); v.Cols != 4 {
+		t.Fatal("full view broken")
+	}
+	if v := m.ColumnView(4, 4); v.Cols != 0 {
+		t.Fatal("empty view broken")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randMatrix(rng, 5, 7)
+	c := m.Clone()
+	if !m.Equal(c, 0) {
+		t.Fatal("clone differs from original")
+	}
+	c.Set(0, 0, c.At(0, 0)+1)
+	if m.At(0, 0) == c.At(0, 0) {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestCloneOfView(t *testing.T) {
+	m := NewMatrix(3, 6)
+	m.FillFunc(func(i, j int) float64 { return float64(10*i + j) })
+	c := m.ColumnView(1, 4).Clone()
+	if c.Stride != c.Cols {
+		t.Fatalf("clone should be compact, stride=%d cols=%d", c.Stride, c.Cols)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if c.At(i, j) != float64(10*i+j+1) {
+				t.Fatalf("clone(%d,%d) = %v", i, j, c.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCopyFromMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(2, 2).CopyFrom(NewMatrix(2, 3))
+}
+
+func TestEqualAndMaxAbsDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMatrix(rng, 4, 4)
+	b := a.Clone()
+	b.Set(3, 3, b.At(3, 3)+1e-3)
+	if a.Equal(b, 1e-6) {
+		t.Fatal("Equal too lax")
+	}
+	if !a.Equal(b, 1e-2) {
+		t.Fatal("Equal too strict")
+	}
+	if d := a.MaxAbsDiff(b); math.Abs(d-1e-3) > 1e-12 {
+		t.Fatalf("MaxAbsDiff = %v, want 1e-3", d)
+	}
+	if a.Equal(NewMatrix(4, 5), 1) {
+		t.Fatal("Equal must reject shape mismatch")
+	}
+}
+
+func TestScaleAndAddScaled(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randMatrix(rng, 3, 3)
+	b := a.Clone()
+	a.Scale(2)
+	a.AddScaled(-2, b)
+	if a.FrobeniusNorm() > 1e-12 {
+		t.Fatalf("2a - 2a != 0, norm=%v", a.FrobeniusNorm())
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 3)
+	m.Set(1, 1, 4)
+	if got := m.FrobeniusNorm(); math.Abs(got-5) > 1e-14 {
+		t.Fatalf("norm = %v, want 5", got)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	small := NewMatrix(2, 2)
+	if s := small.String(); len(s) == 0 {
+		t.Fatal("empty String for small matrix")
+	}
+	big := NewMatrix(100, 100)
+	if s := big.String(); s != "la.Matrix{100x100}" {
+		t.Fatalf("big matrix String = %q", s)
+	}
+}
+
+// Property: Clone followed by any single-element mutation never affects
+// the original (deep-copy invariant), for arbitrary shapes.
+func TestQuickCloneIndependence(t *testing.T) {
+	f := func(rows, cols uint8, seed int64) bool {
+		r, c := int(rows%16)+1, int(cols%16)+1
+		rng := rand.New(rand.NewSource(seed))
+		m := randMatrix(rng, r, c)
+		before := m.Clone()
+		cl := m.Clone()
+		for i := range cl.Data {
+			cl.Data[i] += 1
+		}
+		return m.Equal(before, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a ColumnView of a ColumnView equals a direct ColumnView
+// with composed offsets.
+func TestQuickNestedColumnViews(t *testing.T) {
+	f := func(seed int64, aLo, aW, bLo, bW uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randMatrix(rng, 5, 12)
+		lo1 := int(aLo) % 6
+		hi1 := lo1 + int(aW)%(12-lo1+1)
+		v1 := m.ColumnView(lo1, hi1)
+		if v1.Cols == 0 {
+			return true
+		}
+		lo2 := int(bLo) % v1.Cols
+		hi2 := lo2 + int(bW)%(v1.Cols-lo2+1)
+		v2 := v1.ColumnView(lo2, hi2)
+		direct := m.ColumnView(lo1+lo2, lo1+hi2)
+		return v2.Equal(direct, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,286 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMatMul is an index-by-index reference used to validate the
+// slightly restructured production loops.
+func naiveMatMul(a, b *Matrix) *Matrix {
+	c := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			c.Set(i, j, s)
+		}
+	}
+	return c
+}
+
+func TestGramMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, shape := range [][2]int{{1, 1}, {5, 3}, {8, 8}, {20, 4}, {3, 9}} {
+		a := randMatrix(rng, shape[0], shape[1])
+		got := Gram(a)
+		// Aᵀ·A via naive matmul on an explicit transpose.
+		at := NewMatrix(a.Cols, a.Rows)
+		at.FillFunc(func(i, j int) float64 { return a.At(j, i) })
+		want := naiveMatMul(at, a)
+		if d := got.MaxAbsDiff(want); d > 1e-10 {
+			t.Fatalf("shape %v: Gram differs from naive by %v", shape, d)
+		}
+	}
+}
+
+func TestGramIsSymmetric(t *testing.T) {
+	f := func(seed int64, rows, cols uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randMatrix(rng, int(rows%20)+1, int(cols%10)+1)
+		g := Gram(a)
+		for i := 0; i < g.Rows; i++ {
+			for j := 0; j < g.Cols; j++ {
+				if g.At(i, j) != g.At(j, i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHadamard(t *testing.T) {
+	a := NewMatrix(2, 2)
+	b := NewMatrix(2, 2)
+	a.FillFunc(func(i, j int) float64 { return float64(i + j + 1) })
+	b.FillFunc(func(i, j int) float64 { return 2 })
+	c := Hadamard(a, b)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != 2*float64(i+j+1) {
+				t.Fatalf("(%d,%d) = %v", i, j, c.At(i, j))
+			}
+		}
+	}
+	// In-place variant must agree.
+	a2 := a.Clone()
+	HadamardInPlace(a2, b)
+	if !a2.Equal(c, 0) {
+		t.Fatal("HadamardInPlace differs from Hadamard")
+	}
+}
+
+func TestHadamardShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Hadamard(NewMatrix(2, 2), NewMatrix(2, 3))
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, shape := range [][3]int{{1, 1, 1}, {3, 4, 5}, {7, 2, 7}, {10, 10, 1}} {
+		a := randMatrix(rng, shape[0], shape[1])
+		b := randMatrix(rng, shape[1], shape[2])
+		if d := MatMul(a, b).MaxAbsDiff(naiveMatMul(a, b)); d > 1e-10 {
+			t.Fatalf("shape %v: MatMul differs by %v", shape, d)
+		}
+	}
+}
+
+func TestKhatriRaoSmall(t *testing.T) {
+	// Worked example: B is 2x2, C is 2x2; row (j*K+k) = B[j] .* C[k].
+	b := NewMatrix(2, 2)
+	c := NewMatrix(2, 2)
+	b.FillFunc(func(i, j int) float64 { return float64(1 + i*2 + j) }) // [1 2; 3 4]
+	c.FillFunc(func(i, j int) float64 { return float64(5 + i*2 + j) }) // [5 6; 7 8]
+	k := KhatriRao(b, c)
+	want := [][]float64{{5, 12}, {7, 16}, {15, 24}, {21, 32}}
+	for i, row := range want {
+		for j, v := range row {
+			if k.At(i, j) != v {
+				t.Fatalf("K(%d,%d) = %v, want %v", i, j, k.At(i, j), v)
+			}
+		}
+	}
+}
+
+func TestKhatriRaoShape(t *testing.T) {
+	k := KhatriRao(NewMatrix(3, 4), NewMatrix(5, 4))
+	if k.Rows != 15 || k.Cols != 4 {
+		t.Fatalf("shape = %dx%d, want 15x4", k.Rows, k.Cols)
+	}
+}
+
+func spdMatrix(rng *rand.Rand, n int) *Matrix {
+	// A = MᵀM + n·I is SPD with overwhelming probability.
+	m := randMatrix(rng, n+3, n)
+	a := Gram(m)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	return a
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{1, 2, 5, 16, 33} {
+		a := spdMatrix(rng, n)
+		l, err := CholeskyDecompose(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		lt := NewMatrix(n, n)
+		lt.FillFunc(func(i, j int) float64 { return l.At(j, i) })
+		if d := MatMul(l, lt).MaxAbsDiff(a); d > 1e-8*float64(n) {
+			t.Fatalf("n=%d: L·Lᵀ differs from A by %v", n, d)
+		}
+		// Strictly upper part must be zero.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatalf("L(%d,%d) = %v, want 0", i, j, l.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -1)
+	if _, err := CholeskyDecompose(a); err == nil {
+		t.Fatal("expected ErrNotSPD for indefinite matrix")
+	}
+	if _, err := CholeskyDecompose(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func TestSolveSPDRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 3, 8, 16} {
+		a := spdMatrix(rng, n)
+		x := randMatrix(rng, 6, n)
+		b := MatMul(x, a) // B = X·A
+		if err := SolveSPD(a, b); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := b.MaxAbsDiff(x); d > 1e-8 {
+			t.Fatalf("n=%d: solve error %v", n, d)
+		}
+	}
+}
+
+func TestSolveSPDSingularFallsBackToRidge(t *testing.T) {
+	// A singular PSD matrix: rank-1.
+	n := 4
+	a := NewMatrix(n, n)
+	a.FillFunc(func(i, j int) float64 { return 1 })
+	b := NewMatrix(2, n)
+	b.FillFunc(func(i, j int) float64 { return 1 })
+	if err := SolveSPD(a, b); err != nil {
+		t.Fatalf("ridge fallback failed: %v", err)
+	}
+	for i := range b.Data {
+		if math.IsNaN(b.Data[i]) || math.IsInf(b.Data[i], 0) {
+			t.Fatal("ridge solve produced non-finite values")
+		}
+	}
+}
+
+func TestSolveSPDDimChecks(t *testing.T) {
+	if err := SolveSPD(NewMatrix(2, 3), NewMatrix(2, 2)); err == nil {
+		t.Fatal("expected error for non-square A")
+	}
+	if err := SolveSPD(spdMatrix(rand.New(rand.NewSource(1)), 3), NewMatrix(2, 2)); err == nil {
+		t.Fatal("expected error for B/A dim mismatch")
+	}
+}
+
+func TestColumnNormsAndNormalize(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 3)
+	m.Set(1, 0, 4)
+	m.Set(0, 1, 2)
+	// column 2 is all zero
+	norms := ColumnNorms(m)
+	if math.Abs(norms[0]-5) > 1e-14 || math.Abs(norms[1]-2) > 1e-14 || norms[2] != 0 {
+		t.Fatalf("norms = %v", norms)
+	}
+	got := NormalizeColumns(m)
+	if math.Abs(got[0]-5) > 1e-14 {
+		t.Fatalf("NormalizeColumns returned %v", got)
+	}
+	after := ColumnNorms(m)
+	if math.Abs(after[0]-1) > 1e-14 || math.Abs(after[1]-1) > 1e-14 || after[2] != 0 {
+		t.Fatalf("post-normalisation norms = %v", after)
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.FillFunc(func(i, j int) float64 { return 1 })
+	b := NewMatrix(2, 2)
+	b.FillFunc(func(i, j int) float64 { return float64(i*2 + j) })
+	if got := Dot(a, b); got != 6 {
+		t.Fatalf("Dot = %v, want 6", got)
+	}
+}
+
+// Property: KhatriRao dims and the defining identity
+// K[j*Kc+k][r] == B[j][r]*C[k][r] hold for random shapes.
+func TestQuickKhatriRaoDefinition(t *testing.T) {
+	f := func(seed int64, jr, kr, rr uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		j, k, r := int(jr%6)+1, int(kr%6)+1, int(rr%5)+1
+		b := randMatrix(rng, j, r)
+		c := randMatrix(rng, k, r)
+		kr2 := KhatriRao(b, c)
+		if kr2.Rows != j*k || kr2.Cols != r {
+			return false
+		}
+		for jj := 0; jj < j; jj++ {
+			for kk := 0; kk < k; kk++ {
+				for q := 0; q < r; q++ {
+					if kr2.At(jj*k+kk, q) != b.At(jj, q)*c.At(kk, q) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SolveSPD(A, X·A) recovers X for random SPD A.
+func TestQuickSolveSPDInverse(t *testing.T) {
+	f := func(seed int64, nn, mm uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := int(nn%8)+1, int(mm%6)+1
+		a := spdMatrix(rng, n)
+		x := randMatrix(rng, m, n)
+		b := MatMul(x, a)
+		if err := SolveSPD(a, b); err != nil {
+			return false
+		}
+		return b.MaxAbsDiff(x) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+package memo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spblock/internal/core"
+	"spblock/internal/la"
+	"spblock/internal/tensor"
+)
+
+func randCOO(rng *rand.Rand, dims tensor.Dims, nnz int) *tensor.COO {
+	t := tensor.NewCOO(dims, nnz)
+	for p := 0; p < nnz; p++ {
+		t.Append(
+			tensor.Index(rng.Intn(dims[0])),
+			tensor.Index(rng.Intn(dims[1])),
+			tensor.Index(rng.Intn(dims[2])),
+			rng.NormFloat64(),
+		)
+	}
+	t.Dedup()
+	return t
+}
+
+func randMatrix(rng *rand.Rand, rows, cols int) *la.Matrix {
+	m := la.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	bad := tensor.NewCOO(tensor.Dims{2, 2, 2}, 0)
+	bad.Append(5, 0, 0, 1)
+	if _, err := NewEngine(bad); err == nil {
+		t.Fatal("invalid tensor accepted")
+	}
+}
+
+func TestPairStructure(t *testing.T) {
+	x := tensor.NewCOO(tensor.Dims{3, 3, 4}, 0)
+	x.Append(0, 0, 1, 1)
+	x.Append(0, 0, 3, 2) // same pair (0,0)
+	x.Append(0, 1, 0, 3)
+	x.Append(2, 0, 2, 4)
+	e, err := NewEngine(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumPairs() != 3 {
+		t.Fatalf("pairs = %d, want 3", e.NumPairs())
+	}
+	if e.MemoBytes(16) != 3*16*8 {
+		t.Fatalf("MemoBytes = %d", e.MemoBytes(16))
+	}
+}
+
+func TestFoldsMatchPlainMTTKRP(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dims := tensor.Dims{12, 14, 10}
+	x := randCOO(rng, dims, 400)
+	e, err := NewEngine(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rank := range []int{1, 8, 17, 32} {
+		a := randMatrix(rng, dims[0], rank)
+		b := randMatrix(rng, dims[1], rank)
+		c := randMatrix(rng, dims[2], rank)
+
+		if err := e.ComputeS(c); err != nil {
+			t.Fatal(err)
+		}
+
+		// Mode 1 oracle: plain SPLATT kernel.
+		want1 := la.NewMatrix(dims[0], rank)
+		if err := core.MTTKRP(x, b, c, want1, core.Plan{Method: core.MethodSPLATT, Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+		got1 := la.NewMatrix(dims[0], rank)
+		if err := e.FoldMode1(b, got1); err != nil {
+			t.Fatal(err)
+		}
+		if d := got1.MaxAbsDiff(want1); d > 1e-9 {
+			t.Fatalf("rank %d: mode-1 fold differs by %v", rank, d)
+		}
+
+		// Mode 2 oracle: permuted plain kernel.
+		perm, err := x.PermuteModes([3]int{1, 0, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want2 := la.NewMatrix(dims[1], rank)
+		if err := core.MTTKRP(perm, a, c, want2, core.Plan{Method: core.MethodSPLATT, Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+		got2 := la.NewMatrix(dims[1], rank)
+		if err := e.FoldMode2(a, got2); err != nil {
+			t.Fatal(err)
+		}
+		if d := got2.MaxAbsDiff(want2); d > 1e-9 {
+			t.Fatalf("rank %d: mode-2 fold differs by %v", rank, d)
+		}
+	}
+}
+
+func TestFoldValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dims := tensor.Dims{4, 5, 6}
+	x := randCOO(rng, dims, 30)
+	e, err := NewEngine(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randMatrix(rng, 5, 8)
+	out := la.NewMatrix(4, 8)
+	if err := e.FoldMode1(b, out); err == nil {
+		t.Fatal("fold before ComputeS accepted")
+	}
+	if err := e.ComputeS(randMatrix(rng, 5, 8)); err == nil {
+		t.Fatal("wrong C rows accepted")
+	}
+	if err := e.ComputeS(la.NewMatrix(6, 0)); err == nil {
+		t.Fatal("rank 0 accepted")
+	}
+	if err := e.ComputeS(randMatrix(rng, 6, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FoldMode1(randMatrix(rng, 5, 4), out); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+	if err := e.FoldMode1(randMatrix(rng, 4, 8), out); err == nil {
+		t.Fatal("wrong factor rows accepted")
+	}
+	if err := e.FoldMode2(randMatrix(rng, 4, 8), la.NewMatrix(3, 8)); err == nil {
+		t.Fatal("wrong out rows accepted")
+	}
+}
+
+func TestComputeSRankChangeReallocates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randCOO(rng, tensor.Dims{6, 6, 6}, 50)
+	e, err := NewEngine(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ComputeS(randMatrix(rng, 6, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ComputeS(randMatrix(rng, 6, 16)); err != nil {
+		t.Fatal(err)
+	}
+	out := la.NewMatrix(6, 16)
+	if err := e.FoldMode1(randMatrix(rng, 6, 16), out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlopAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Long fibers in k: many nonzeros share (i,j) pairs, so P << nnz
+	// and memoization pays off.
+	x := tensor.NewCOO(tensor.Dims{10, 10, 200}, 0)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			for k := 0; k < 50; k++ {
+				x.Append(tensor.Index(i), tensor.Index(j), tensor.Index(rng.Intn(200)), 1)
+			}
+		}
+	}
+	x.Dedup()
+	e, err := NewEngine(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumPairs() != 100 {
+		t.Fatalf("pairs = %d, want 100", e.NumPairs())
+	}
+	plain := e.FlopsPlain(64, x.NNZ())
+	memo := e.FlopsMemoized(64, x.NNZ())
+	if memo >= plain {
+		t.Fatalf("memoization does not save flops: %d >= %d", memo, plain)
+	}
+	// With P = nnz/48 the saving should approach the 2x bound.
+	if float64(plain)/float64(memo) < 1.5 {
+		t.Fatalf("saving ratio %.2f below 1.5", float64(plain)/float64(memo))
+	}
+}
+
+// Property: folds match a brute-force per-nonzero computation for
+// random tensors and ranks.
+func TestQuickMemoFolds(t *testing.T) {
+	f := func(seed int64, r uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := tensor.Dims{6, 7, 5}
+		x := randCOO(rng, dims, 100)
+		rank := int(r%20) + 1
+		a := randMatrix(rng, dims[0], rank)
+		b := randMatrix(rng, dims[1], rank)
+		c := randMatrix(rng, dims[2], rank)
+		e, err := NewEngine(x)
+		if err != nil {
+			return false
+		}
+		if e.ComputeS(c) != nil {
+			return false
+		}
+		want1 := la.NewMatrix(dims[0], rank)
+		want2 := la.NewMatrix(dims[1], rank)
+		for p := 0; p < x.NNZ(); p++ {
+			arow := a.Row(int(x.I[p]))
+			brow := b.Row(int(x.J[p]))
+			crow := c.Row(int(x.K[p]))
+			o1 := want1.Row(int(x.I[p]))
+			o2 := want2.Row(int(x.J[p]))
+			for q := 0; q < rank; q++ {
+				o1[q] += x.Val[p] * brow[q] * crow[q]
+				o2[q] += x.Val[p] * arow[q] * crow[q]
+			}
+		}
+		got1 := la.NewMatrix(dims[0], rank)
+		got2 := la.NewMatrix(dims[1], rank)
+		if e.FoldMode1(b, got1) != nil || e.FoldMode2(a, got2) != nil {
+			return false
+		}
+		return got1.MaxAbsDiff(want1) < 1e-9 && got2.MaxAbsDiff(want2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

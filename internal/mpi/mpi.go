@@ -1,0 +1,370 @@
+// Package mpi is an in-process message-passing runtime standing in for
+// MPI in the distributed experiments (Sec. VI-D). Ranks run as
+// goroutines; point-to-point messages travel over channels; the
+// collectives the distributed MTTKRP needs (Barrier, Allgatherv,
+// ReduceScatter, Allreduce, Split) are built on top.
+//
+// Because the reproduction host has a single core, wall-clock time of
+// concurrently running ranks is meaningless. The runtime therefore
+// separates the two components of the modeled execution time:
+//
+//   - compute: each rank wraps its kernel in Comm.TimeCompute, which
+//     serialises ranks on one global token so the measured section runs
+//     alone and the measurement is clean;
+//   - communication: every collective records its logical operation and
+//     byte volume; an α-β CostModel converts those into modeled seconds
+//     per rank.
+//
+// The data movement itself is real — collectives actually move the
+// bytes between goroutines — so correctness is testable independently
+// of the time model.
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// message is one point-to-point transfer.
+type message struct {
+	tag  int
+	data []float64
+}
+
+// world is the shared state of one Run.
+type world struct {
+	size int
+	// mail[from*size+to] carries messages in FIFO order.
+	mail []chan message
+
+	computeToken chan struct{}
+
+	mu    sync.Mutex
+	stats []RankStats
+
+	model CostModel
+}
+
+// RankStats aggregates one rank's accounted costs.
+type RankStats struct {
+	ComputeSec float64
+	CommSec    float64
+	BytesSent  int64 // point-to-point payload bytes this rank sent
+}
+
+// RunStats is returned by Run.
+type RunStats struct {
+	PerRank []RankStats
+}
+
+// ModeledSeconds returns the modeled parallel execution time:
+// max over ranks of (compute + modeled communication).
+func (s RunStats) ModeledSeconds() float64 {
+	var worst float64
+	for _, r := range s.PerRank {
+		if t := r.ComputeSec + r.CommSec; t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// TotalBytes sums point-to-point bytes across ranks.
+func (s RunStats) TotalBytes() int64 {
+	var b int64
+	for _, r := range s.PerRank {
+		b += r.BytesSent
+	}
+	return b
+}
+
+// Comm is a communicator: a subset of ranks that can exchange messages
+// and run collectives. The initial communicator spans all ranks.
+type Comm struct {
+	w *world
+	// group lists the global ranks in this communicator, sorted.
+	group []int
+	// me is this rank's index within group.
+	me int
+	// tagSalt namespaces collective traffic per communicator so
+	// concurrent collectives on different communicators don't collide.
+	tagSalt int
+}
+
+// Run starts size ranks, each executing body with its own communicator
+// over the world, and waits for all of them. The first non-nil error is
+// returned (all ranks still run to completion or failure).
+func Run(size int, model CostModel, body func(*Comm) error) (RunStats, error) {
+	if size <= 0 {
+		return RunStats{}, fmt.Errorf("mpi: size must be positive, got %d", size)
+	}
+	w := &world{
+		size:         size,
+		mail:         make([]chan message, size*size),
+		computeToken: make(chan struct{}, 1),
+		stats:        make([]RankStats, size),
+		model:        model,
+	}
+	for i := range w.mail {
+		// Generous buffering: our collectives have at most one message
+		// in flight per (src, dst) pair, but user code may pipeline.
+		w.mail[i] = make(chan message, 64)
+	}
+	w.computeToken <- struct{}{}
+
+	group := make([]int, size)
+	for i := range group {
+		group[i] = i
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+				}
+			}()
+			errs[rank] = body(&Comm{w: w, group: group, me: rank})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return RunStats{PerRank: w.stats}, err
+		}
+	}
+	return RunStats{PerRank: w.stats}, nil
+}
+
+// Rank returns this rank's index within the communicator.
+func (c *Comm) Rank() int { return c.me }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// GlobalRank returns this rank's index in the world communicator.
+func (c *Comm) GlobalRank() int { return c.group[c.me] }
+
+// TimeCompute runs f while holding the global compute token, so the
+// measured section executes alone on the machine, and accounts the
+// elapsed time to this rank's compute budget.
+func (c *Comm) TimeCompute(f func()) {
+	<-c.w.computeToken
+	start := time.Now()
+	f()
+	sec := time.Since(start).Seconds()
+	c.w.computeToken <- struct{}{}
+	c.w.mu.Lock()
+	c.w.stats[c.GlobalRank()].ComputeSec += sec
+	c.w.mu.Unlock()
+}
+
+// chargeComm adds modeled seconds to this rank.
+func (c *Comm) chargeComm(sec float64) {
+	c.w.mu.Lock()
+	c.w.stats[c.GlobalRank()].CommSec += sec
+	c.w.mu.Unlock()
+}
+
+// Send delivers data to rank `to` of this communicator with a tag.
+// Payloads are copied, so the caller may reuse the slice.
+func (c *Comm) Send(to, tag int, data []float64) {
+	cp := append([]float64(nil), data...)
+	from := c.GlobalRank()
+	dst := c.group[to]
+	c.w.mail[from*c.w.size+dst] <- message{tag: tag ^ c.tagSalt, data: cp}
+	c.w.mu.Lock()
+	c.w.stats[from].BytesSent += int64(8 * len(cp))
+	c.w.mu.Unlock()
+}
+
+// Recv receives the next message from rank `from` of this communicator.
+// Messages between a pair arrive in FIFO order; the tag is checked and
+// a mismatch panics (it indicates a protocol bug, not a runtime race).
+func (c *Comm) Recv(from, tag int) []float64 {
+	src := c.group[from]
+	m := <-c.w.mail[src*c.w.size+c.GlobalRank()]
+	if m.tag != tag^c.tagSalt {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d",
+			c.GlobalRank(), tag, src, m.tag^c.tagSalt))
+	}
+	return m.data
+}
+
+const (
+	tagBarrier = 1 << 20
+	tagGather  = 2 << 20
+	tagScatter = 3 << 20
+	tagSplit   = 4 << 20
+)
+
+// Barrier blocks until every rank in the communicator reaches it.
+func (c *Comm) Barrier() {
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	if c.me == 0 {
+		for r := 1; r < p; r++ {
+			c.Recv(r, tagBarrier)
+		}
+		for r := 1; r < p; r++ {
+			c.Send(r, tagBarrier, nil)
+		}
+	} else {
+		c.Send(0, tagBarrier, nil)
+		c.Recv(0, tagBarrier)
+	}
+	c.chargeComm(c.w.model.Barrier(p))
+}
+
+// Allgatherv gathers every rank's (variable-length) contribution and
+// returns them indexed by rank. All ranks receive identical results.
+func (c *Comm) Allgatherv(mine []float64) [][]float64 {
+	p := c.Size()
+	out := make([][]float64, p)
+	out[c.me] = append([]float64(nil), mine...)
+	if p > 1 {
+		if c.me == 0 {
+			for r := 1; r < p; r++ {
+				out[r] = c.Recv(r, tagGather+r)
+			}
+			flat, lens := flatten(out)
+			for r := 1; r < p; r++ {
+				c.Send(r, tagScatter, append(lens, flat...))
+			}
+		} else {
+			c.Send(0, tagGather+c.me, mine)
+			packed := c.Recv(0, tagScatter)
+			unflatten(packed, p, out)
+		}
+	}
+	var total int64
+	for _, part := range out {
+		total += int64(8 * len(part))
+	}
+	c.chargeComm(c.w.model.Allgather(p, total))
+	return out
+}
+
+// flatten packs parts into (lengths, data) for a single transfer.
+func flatten(parts [][]float64) (flat, lens []float64) {
+	lens = make([]float64, len(parts))
+	for i, p := range parts {
+		lens[i] = float64(len(p))
+		flat = append(flat, p...)
+	}
+	return flat, lens
+}
+
+func unflatten(packed []float64, p int, out [][]float64) {
+	lens := packed[:p]
+	rest := packed[p:]
+	for i := 0; i < p; i++ {
+		n := int(lens[i])
+		out[i] = append([]float64(nil), rest[:n]...)
+		rest = rest[n:]
+	}
+}
+
+// ReduceScatter element-wise sums each rank's data vector (all must
+// have identical length Σ counts) and returns to rank r the segment of
+// the sum described by counts[r].
+func (c *Comm) ReduceScatter(data []float64, counts []int) ([]float64, error) {
+	p := c.Size()
+	if len(counts) != p {
+		return nil, fmt.Errorf("mpi: ReduceScatter needs %d counts, got %d", p, len(counts))
+	}
+	total := 0
+	for _, n := range counts {
+		if n < 0 {
+			return nil, fmt.Errorf("mpi: negative count")
+		}
+		total += n
+	}
+	if len(data) != total {
+		return nil, fmt.Errorf("mpi: ReduceScatter data length %d != sum of counts %d", len(data), total)
+	}
+	var sum []float64
+	if c.me == 0 {
+		sum = append([]float64(nil), data...)
+		for r := 1; r < p; r++ {
+			other := c.Recv(r, tagGather+r)
+			for i := range sum {
+				sum[i] += other[i]
+			}
+		}
+		off := counts[0]
+		for r := 1; r < p; r++ {
+			c.Send(r, tagScatter, sum[off:off+counts[r]])
+			off += counts[r]
+		}
+		sum = sum[:counts[0]]
+	} else {
+		c.Send(0, tagGather+c.me, data)
+		sum = c.Recv(0, tagScatter)
+	}
+	c.chargeComm(c.w.model.ReduceScatter(p, int64(8*total)))
+	return append([]float64(nil), sum...), nil
+}
+
+// Allreduce element-wise sums data across ranks; every rank receives
+// the full reduced vector.
+func (c *Comm) Allreduce(data []float64) []float64 {
+	p := c.Size()
+	out := append([]float64(nil), data...)
+	if p > 1 {
+		if c.me == 0 {
+			for r := 1; r < p; r++ {
+				other := c.Recv(r, tagGather+r)
+				for i := range out {
+					out[i] += other[i]
+				}
+			}
+			for r := 1; r < p; r++ {
+				c.Send(r, tagScatter, out)
+			}
+		} else {
+			c.Send(0, tagGather+c.me, data)
+			out = c.Recv(0, tagScatter)
+		}
+	}
+	c.chargeComm(c.w.model.Allreduce(p, int64(8*len(data))))
+	return out
+}
+
+// Split partitions the communicator: ranks passing the same color form
+// a new communicator, ordered by (key, rank). Every rank must call it.
+func (c *Comm) Split(color, key int) *Comm {
+	p := c.Size()
+	// Exchange (color, key) via an allgather of two-element vectors.
+	pairs := c.Allgatherv([]float64{float64(color), float64(key)})
+	type member struct{ color, key, rank int }
+	var mine []member
+	for r := 0; r < p; r++ {
+		mc, mk := int(pairs[r][0]), int(pairs[r][1])
+		if mc == color {
+			mine = append(mine, member{mc, mk, r})
+		}
+	}
+	sort.Slice(mine, func(a, b int) bool {
+		if mine[a].key != mine[b].key {
+			return mine[a].key < mine[b].key
+		}
+		return mine[a].rank < mine[b].rank
+	})
+	group := make([]int, len(mine))
+	me := -1
+	for i, m := range mine {
+		group[i] = c.group[m.rank]
+		if m.rank == c.me {
+			me = i
+		}
+	}
+	return &Comm{w: c.w, group: group, me: me, tagSalt: c.tagSalt ^ (color+1)*0x9e37}
+}

@@ -1,0 +1,76 @@
+package mpi
+
+// CostModel converts logical communication operations into modeled
+// seconds using the classical α-β (latency-bandwidth) model with
+// ring-algorithm collectives — the standard first-order model for
+// cluster interconnects.
+type CostModel struct {
+	// LatencySec is α, the per-message latency.
+	LatencySec float64
+	// BytesPerSec is 1/β, the point-to-point bandwidth.
+	BytesPerSec float64
+}
+
+// DefaultCluster models a 2018-era InfiniBand EDR cluster like the
+// paper's POWER8 system: ~1.5 µs latency, ~12 GB/s per-node bandwidth.
+func DefaultCluster() CostModel {
+	return CostModel{LatencySec: 1.5e-6, BytesPerSec: 12e9}
+}
+
+// Zero returns a free network (useful to isolate compute in tests).
+func Zero() CostModel { return CostModel{} }
+
+func (m CostModel) beta(bytes float64) float64 {
+	if m.BytesPerSec <= 0 {
+		return 0
+	}
+	return bytes / m.BytesPerSec
+}
+
+// PointToPoint models one message of n bytes.
+func (m CostModel) PointToPoint(bytes int64) float64 {
+	if bytes < 0 {
+		bytes = 0
+	}
+	return m.LatencySec + m.beta(float64(bytes))
+}
+
+// Barrier models a dissemination barrier: ceil(log2 p) rounds of α.
+func (m CostModel) Barrier(p int) float64 {
+	return float64(log2ceil(p)) * m.LatencySec
+}
+
+// Allgather models a ring allgather where totalBytes is the sum of all
+// ranks' contributions: (p−1) steps, each moving totalBytes/p.
+func (m CostModel) Allgather(p int, totalBytes int64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	steps := float64(p - 1)
+	return steps*m.LatencySec + m.beta(steps/float64(p)*float64(totalBytes))
+}
+
+// ReduceScatter models a ring reduce-scatter over vectors of totalBytes.
+func (m CostModel) ReduceScatter(p int, totalBytes int64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	steps := float64(p - 1)
+	return steps*m.LatencySec + m.beta(steps/float64(p)*float64(totalBytes))
+}
+
+// Allreduce models reduce-scatter followed by allgather.
+func (m CostModel) Allreduce(p int, bytes int64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return m.ReduceScatter(p, bytes) + m.Allgather(p, bytes)
+}
+
+func log2ceil(p int) int {
+	n := 0
+	for v := 1; v < p; v <<= 1 {
+		n++
+	}
+	return n
+}

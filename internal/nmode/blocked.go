@@ -1,0 +1,164 @@
+package nmode
+
+import (
+	"fmt"
+
+	"spblock/internal/la"
+)
+
+// BlockedTensor generalises Sec. V-A's multi-dimensional blocking to
+// order-N data: the index space is cut into Grid[0] x ... x Grid[N-1]
+// axis-aligned blocks, each stored as its own CSF tree over global
+// coordinates.
+type BlockedTensor struct {
+	Dims      []int
+	Grid      []int
+	BlockDims []int
+	ModeOrder []int
+	// Blocks is indexed by the row-major flattening of the block
+	// coordinates; empty blocks are nil.
+	Blocks []*CSF
+
+	nnz int
+}
+
+// BuildBlocked reorganises t into grid blocks using the given CSF mode
+// order (nil = DefaultModeOrder for mode 0).
+func BuildBlocked(t *Tensor, grid []int, modeOrder []int) (*BlockedTensor, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	n := t.Order()
+	if len(grid) != n {
+		return nil, fmt.Errorf("%w: grid %v for order-%d tensor", ErrBadTensor, grid, n)
+	}
+	if modeOrder == nil {
+		modeOrder = DefaultModeOrder(t.Dims, 0)
+	}
+	bt := &BlockedTensor{
+		Dims:      append([]int(nil), t.Dims...),
+		Grid:      append([]int(nil), grid...),
+		BlockDims: make([]int, n),
+		ModeOrder: append([]int(nil), modeOrder...),
+		nnz:       t.NNZ(),
+	}
+	total := 1
+	for m := 0; m < n; m++ {
+		if grid[m] < 1 || grid[m] > t.Dims[m] {
+			return nil, fmt.Errorf("%w: grid[%d] = %d outside [1,%d]", ErrBadTensor, m, grid[m], t.Dims[m])
+		}
+		bt.BlockDims[m] = (t.Dims[m] + grid[m] - 1) / grid[m]
+		total *= grid[m]
+	}
+	if total > 1<<22 {
+		return nil, fmt.Errorf("%w: %d blocks is unreasonable", ErrBadTensor, total)
+	}
+	bt.Blocks = make([]*CSF, total)
+
+	// Bucket nonzeros by block id.
+	buckets := make([]*Tensor, total)
+	coords := make([]Index, n)
+	for p := 0; p < t.NNZ(); p++ {
+		id := 0
+		for m := 0; m < n; m++ {
+			id = id*grid[m] + int(t.Idx[m][p])/bt.BlockDims[m]
+		}
+		if buckets[id] == nil {
+			buckets[id] = NewTensor(t.Dims, 16)
+		}
+		buckets[id].Append(t.Coord(p, coords), t.Val[p])
+	}
+	for id, b := range buckets {
+		if b == nil {
+			continue
+		}
+		csf, err := Build(b, modeOrder)
+		if err != nil {
+			return nil, err
+		}
+		bt.Blocks[id] = csf
+	}
+	return bt, nil
+}
+
+// NNZ returns the total nonzero count.
+func (bt *BlockedTensor) NNZ() int { return bt.nnz }
+
+// NumBlocks returns the number of non-empty blocks.
+func (bt *BlockedTensor) NumBlocks() int {
+	c := 0
+	for _, b := range bt.Blocks {
+		if b != nil {
+			c++
+		}
+	}
+	return c
+}
+
+// MTTKRP runs the blocked N-mode product: every block's tree is walked
+// in sequence (rank strips outermost when RankBlockCols is set),
+// accumulating into the shared output. Blocks write disjoint leaf
+// contributions but may share output rows, so this sequential-per-call
+// form is the safe default; parallel callers should shard by the root
+// mode's block coordinate.
+func (bt *BlockedTensor) MTTKRP(factors []*la.Matrix, out *la.Matrix, opts Options) error {
+	n := len(bt.Dims)
+	if len(factors) != n {
+		return fmt.Errorf("nmode: %d factors for order-%d tensor", len(factors), n)
+	}
+	r := out.Cols
+	if r <= 0 {
+		return fmt.Errorf("nmode: rank must be positive")
+	}
+	rootMode := bt.ModeOrder[0]
+	if out.Rows != bt.Dims[rootMode] {
+		return fmt.Errorf("nmode: out has %d rows, want %d", out.Rows, bt.Dims[rootMode])
+	}
+	for d := 1; d < n; d++ {
+		m := bt.ModeOrder[d]
+		if factors[m] == nil || factors[m].Cols != r || factors[m].Rows != bt.Dims[m] {
+			return fmt.Errorf("nmode: bad factor for mode %d", m)
+		}
+	}
+	out.Zero()
+
+	run := func(fs []*la.Matrix, o *la.Matrix) {
+		for _, blk := range bt.Blocks {
+			if blk == nil {
+				continue
+			}
+			w := newWalker(blk, fs, o)
+			w.roots(0, blk.NumNodes(0))
+		}
+	}
+
+	bs := opts.RankBlockCols
+	if bs <= 0 || bs >= r {
+		run(factors, out)
+		return nil
+	}
+	packed := make([]*la.Matrix, n)
+	for d := 1; d < n; d++ {
+		m := bt.ModeOrder[d]
+		packed[m] = la.NewMatrix(factors[m].Rows, bs)
+	}
+	oPack := la.NewMatrix(out.Rows, bs)
+	pf := make([]*la.Matrix, n)
+	for rr := 0; rr < r; rr += bs {
+		w := bs
+		if rr+w > r {
+			w = r - rr
+		}
+		for d := 1; d < n; d++ {
+			m := bt.ModeOrder[d]
+			pv := stripView(packed[m], w)
+			packStrip(pv, factors[m], rr)
+			pf[m] = pv
+		}
+		po := stripView(oPack, w)
+		po.Zero()
+		run(pf, po)
+		unpackStrip(out, po, rr)
+	}
+	return nil
+}

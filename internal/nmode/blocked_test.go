@@ -1,0 +1,145 @@
+package nmode
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spblock/internal/la"
+)
+
+func TestBuildBlockedNValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensorN(rng, []int{6, 6, 6, 6}, 100)
+	if _, err := BuildBlocked(x, []int{2, 2}, nil); err == nil {
+		t.Fatal("short grid accepted")
+	}
+	if _, err := BuildBlocked(x, []int{0, 1, 1, 1}, nil); err == nil {
+		t.Fatal("zero grid accepted")
+	}
+	if _, err := BuildBlocked(x, []int{7, 1, 1, 1}, nil); err == nil {
+		t.Fatal("oversized grid accepted")
+	}
+	bad := NewTensor([]int{2, 2}, 0)
+	bad.Append([]Index{3, 0}, 1)
+	if _, err := BuildBlocked(bad, []int{1, 1}, nil); err == nil {
+		t.Fatal("invalid tensor accepted")
+	}
+}
+
+func TestBlockedNConservesNNZ(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randTensorN(rng, []int{8, 9, 10, 6}, 400)
+	bt, err := BuildBlocked(x, []int{2, 3, 2, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.NNZ() != x.NNZ() {
+		t.Fatalf("nnz %d != %d", bt.NNZ(), x.NNZ())
+	}
+	total := 0
+	for _, blk := range bt.Blocks {
+		if blk == nil {
+			continue
+		}
+		if err := blk.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		total += blk.NNZ()
+	}
+	if total != x.NNZ() {
+		t.Fatalf("blocks hold %d, want %d", total, x.NNZ())
+	}
+	if bt.NumBlocks() == 0 {
+		t.Fatal("no blocks")
+	}
+}
+
+func TestBlockedNMTTKRPMatchesUnblocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dims := range [][]int{{8, 9, 7}, {6, 5, 7, 4}} {
+		x := randTensorN(rng, dims, 350)
+		rank := 24
+		factors := make([]*la.Matrix, len(dims))
+		for m, d := range dims {
+			factors[m] = randMatrix(rng, d, rank)
+		}
+		want := denseMTTKRP(x, factors, 0, rank)
+
+		grid := make([]int, len(dims))
+		for m := range grid {
+			grid[m] = 2
+		}
+		bt, err := BuildBlocked(x, grid, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opt := range []Options{{}, {RankBlockCols: 16}} {
+			out := la.NewMatrix(dims[0], rank)
+			if err := bt.MTTKRP(factors, out, opt); err != nil {
+				t.Fatalf("dims %v: %v", dims, err)
+			}
+			if d := out.MaxAbsDiff(want); d > 1e-9 {
+				t.Fatalf("dims %v opt %+v: differs by %v", dims, opt, d)
+			}
+		}
+	}
+}
+
+func TestBlockedNMTTKRPValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := randTensorN(rng, []int{5, 5, 5}, 60)
+	bt, err := BuildBlocked(x, []int{1, 1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []*la.Matrix{nil, randMatrix(rng, 5, 8), randMatrix(rng, 5, 8)}
+	if err := bt.MTTKRP(good[:2], la.NewMatrix(5, 8), Options{}); err == nil {
+		t.Fatal("short factors accepted")
+	}
+	if err := bt.MTTKRP(good, la.NewMatrix(4, 8), Options{}); err == nil {
+		t.Fatal("wrong out rows accepted")
+	}
+	if err := bt.MTTKRP(good, la.NewMatrix(5, 0), Options{}); err == nil {
+		t.Fatal("rank 0 accepted")
+	}
+	if err := bt.MTTKRP([]*la.Matrix{nil, good[1], randMatrix(rng, 5, 4)}, la.NewMatrix(5, 8), Options{}); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+}
+
+// Property: blocked and unblocked N-mode kernels agree for random
+// order-4 tensors and random grids.
+func TestQuickBlockedNAgrees(t *testing.T) {
+	f := func(seed int64, g0, g1, g2, g3 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := []int{6, 5, 7, 4}
+		x := randTensorN(rng, dims, 150)
+		rank := 17
+		factors := make([]*la.Matrix, len(dims))
+		for m, d := range dims {
+			factors[m] = randMatrix(rng, d, rank)
+		}
+		grid := []int{int(g0%3) + 1, int(g1%3) + 1, int(g2%3) + 1, int(g3%3) + 1}
+		bt, err := BuildBlocked(x, grid, nil)
+		if err != nil {
+			return false
+		}
+		c, err := Build(x, nil)
+		if err != nil {
+			return false
+		}
+		a := la.NewMatrix(dims[0], rank)
+		b := la.NewMatrix(dims[0], rank)
+		if MTTKRP(c, factors, a, Options{Workers: 1}) != nil {
+			return false
+		}
+		if bt.MTTKRP(factors, b, Options{RankBlockCols: 16}) != nil {
+			return false
+		}
+		return a.MaxAbsDiff(b) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

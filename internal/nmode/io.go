@@ -1,0 +1,152 @@
+package nmode
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadTNS parses a FROSTT-style text tensor of any order: each line is
+// N 1-based coordinates followed by a value; blank lines and '#'
+// comments are ignored. The order is fixed by the first data line.
+// Mode lengths are the maximum coordinate seen unless a comment of the
+// form "# dims: d1 d2 ... dN" declares them.
+func ReadTNS(r io.Reader) (*Tensor, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var t *Tensor
+	var declared []int
+	var maxCoord []Index
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if rest, ok := strings.CutPrefix(text, "# dims:"); ok {
+				for _, f := range strings.Fields(rest) {
+					d, err := strconv.Atoi(f)
+					if err != nil {
+						return nil, fmt.Errorf("nmode: line %d: bad dims comment: %v", line, err)
+					}
+					declared = append(declared, d)
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("nmode: line %d: want >= 2 coordinates and a value, got %d fields",
+				line, len(fields))
+		}
+		order := len(fields) - 1
+		if t == nil {
+			dims := make([]int, order)
+			for m := range dims {
+				dims[m] = 1
+			}
+			t = NewTensor(dims, 1024)
+			maxCoord = make([]Index, order)
+		} else if order != t.Order() {
+			return nil, fmt.Errorf("nmode: line %d: order %d conflicts with earlier order %d",
+				line, order, t.Order())
+		}
+		coords := make([]Index, order)
+		for m := 0; m < order; m++ {
+			v, err := strconv.ParseInt(fields[m], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("nmode: line %d: bad coordinate %q: %v", line, fields[m], err)
+			}
+			if v < 1 {
+				return nil, fmt.Errorf("nmode: line %d: coordinates are 1-based, got %d", line, v)
+			}
+			if v > 1<<31-1 {
+				return nil, fmt.Errorf("nmode: line %d: coordinate %d exceeds int32 range", line, v)
+			}
+			coords[m] = Index(v - 1)
+			if coords[m]+1 > maxCoord[m] {
+				maxCoord[m] = coords[m] + 1
+			}
+		}
+		val, err := strconv.ParseFloat(fields[order], 64)
+		if err != nil {
+			return nil, fmt.Errorf("nmode: line %d: bad value %q: %v", line, fields[order], err)
+		}
+		t.Append(coords, val)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("nmode: read: %w", err)
+	}
+	if t == nil {
+		if declared != nil {
+			t = NewTensor(declared, 0)
+			if err := t.Validate(); err != nil {
+				return nil, err
+			}
+			return t, nil
+		}
+		return nil, fmt.Errorf("nmode: empty input with no dims comment")
+	}
+	if declared != nil {
+		if len(declared) != t.Order() {
+			return nil, fmt.Errorf("nmode: dims comment has %d modes, data has %d",
+				len(declared), t.Order())
+		}
+		t.Dims = declared
+	} else {
+		for m := range t.Dims {
+			t.Dims[m] = int(maxCoord[m])
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// WriteTNS writes the tensor in FROSTT text form with a dims comment.
+func WriteTNS(w io.Writer, t *Tensor) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "# dims:")
+	for _, d := range t.Dims {
+		fmt.Fprintf(bw, " %d", d)
+	}
+	fmt.Fprintln(bw)
+	for p := 0; p < t.NNZ(); p++ {
+		for m := range t.Dims {
+			fmt.Fprintf(bw, "%d ", t.Idx[m][p]+1)
+		}
+		if _, err := fmt.Fprintln(bw, strconv.FormatFloat(t.Val[p], 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadTNSFile reads an order-N tensor from a file path.
+func LoadTNSFile(path string) (*Tensor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTNS(f)
+}
+
+// SaveTNSFile writes an order-N tensor to a file path.
+func SaveTNSFile(path string, t *Tensor) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTNS(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

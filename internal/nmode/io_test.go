@@ -1,0 +1,126 @@
+package nmode
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadTNSNOrder4(t *testing.T) {
+	in := `# a 4-way tensor
+1 1 1 1 5.0
+2 3 1 4 -2
+1 2 2 2 0.25
+`
+	x, err := ReadTNS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Order() != 4 || x.NNZ() != 3 {
+		t.Fatalf("order=%d nnz=%d", x.Order(), x.NNZ())
+	}
+	want := []int{2, 3, 2, 4}
+	for m, d := range want {
+		if x.Dims[m] != d {
+			t.Fatalf("dims = %v, want %v", x.Dims, want)
+		}
+	}
+	if x.Val[1] != -2 || x.Idx[3][1] != 3 {
+		t.Fatal("entries parsed wrong")
+	}
+}
+
+func TestReadTNSNDimsComment(t *testing.T) {
+	in := "# dims: 5 5 5 5 5\n1 1 1 1 1 2.5\n"
+	x, err := ReadTNS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Order() != 5 || x.Dims[4] != 5 {
+		t.Fatalf("dims = %v", x.Dims)
+	}
+}
+
+func TestReadTNSNErrors(t *testing.T) {
+	cases := map[string]string{
+		"too few fields":      "1 1\n",
+		"mixed order":         "1 1 1 1\n1 1 1 1 1\n",
+		"zero coordinate":     "0 1 1 1\n",
+		"bad coordinate":      "x 1 1 1\n",
+		"bad value":           "1 1 1 zz\n",
+		"dims comment order":  "# dims: 2 2\n1 1 1 1\n",
+		"dims below data":     "# dims: 1 1 1\n2 1 1 1\n",
+		"bad dims comment":    "# dims: a b\n1 1 1 1\n",
+		"empty without dims":  "# nothing\n",
+		"coordinate overflow": "4294967296 1 1 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadTNS(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestReadTNSNEmptyWithDims(t *testing.T) {
+	x, err := ReadTNS(strings.NewReader("# dims: 3 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Order() != 2 || x.NNZ() != 0 {
+		t.Fatalf("order=%d nnz=%d", x.Order(), x.NNZ())
+	}
+}
+
+func TestWriteReadRoundTripN(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensorN(rng, []int{4, 5, 3, 6}, 120)
+	var buf bytes.Buffer
+	if err := WriteTNS(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTNS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Order() != 4 || back.NNZ() != x.NNZ() {
+		t.Fatalf("round trip shape wrong: order=%d nnz=%d", back.Order(), back.NNZ())
+	}
+	for m := range x.Dims {
+		if back.Dims[m] != x.Dims[m] {
+			t.Fatalf("dims = %v vs %v", back.Dims, x.Dims)
+		}
+	}
+	// Entry-by-entry (x is deduped-sorted; back preserves write order).
+	for p := 0; p < x.NNZ(); p++ {
+		if back.Val[p] != x.Val[p] {
+			t.Fatalf("value mismatch at %d", p)
+		}
+		for m := range x.Dims {
+			if back.Idx[m][p] != x.Idx[m][p] {
+				t.Fatalf("coord mismatch at %d mode %d", p, m)
+			}
+		}
+	}
+}
+
+func TestFileRoundTripN(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t4.tns")
+	rng := rand.New(rand.NewSource(2))
+	x := randTensorN(rng, []int{3, 3, 3, 3}, 30)
+	if err := SaveTNSFile(path, x); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTNSFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != x.NNZ() {
+		t.Fatal("file round trip lost entries")
+	}
+	if _, err := LoadTNSFile(filepath.Join(dir, "missing.tns")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,261 @@
+package nmode
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"spblock/internal/la"
+)
+
+// Options configures the N-mode MTTKRP.
+type Options struct {
+	// RankBlockCols is the rank-blocking strip width (0 = whole rank).
+	// Strips are packed into contiguous buffers exactly as the
+	// third-order kernels do (Sec. V-B).
+	RankBlockCols int
+	// Workers is the parallelism degree over root slices (0 = GOMAXPROCS).
+	Workers int
+}
+
+// MTTKRP computes the mode-ModeOrder[0] matricised tensor times
+// Khatri-Rao product:
+//
+//	out[i] += Σ_{leaves under i} val · ⊙_{d>0} factors[ModeOrder[d]][id_d]
+//
+// factors is indexed by mode; the entry for the output mode may be nil.
+// out must be Dims[ModeOrder[0]] x R and is zeroed first.
+func MTTKRP(c *CSF, factors []*la.Matrix, out *la.Matrix, opts Options) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	n := c.Order()
+	if n < 2 {
+		return fmt.Errorf("nmode: MTTKRP needs order >= 2, got %d", n)
+	}
+	if len(factors) != n {
+		return fmt.Errorf("nmode: %d factors for order-%d tensor", len(factors), n)
+	}
+	r := out.Cols
+	if r <= 0 {
+		return fmt.Errorf("nmode: rank must be positive")
+	}
+	if out.Rows != c.Dims[c.ModeOrder[0]] {
+		return fmt.Errorf("nmode: out has %d rows, want %d", out.Rows, c.Dims[c.ModeOrder[0]])
+	}
+	for d := 1; d < n; d++ {
+		m := c.ModeOrder[d]
+		f := factors[m]
+		if f == nil {
+			return fmt.Errorf("nmode: missing factor for mode %d", m)
+		}
+		if f.Cols != r || f.Rows != c.Dims[m] {
+			return fmt.Errorf("nmode: factor for mode %d is %dx%d, want %dx%d",
+				m, f.Rows, f.Cols, c.Dims[m], r)
+		}
+	}
+	out.Zero()
+	if c.NNZ() == 0 {
+		return nil
+	}
+
+	bs := opts.RankBlockCols
+	if bs <= 0 || bs >= r {
+		runOverRoots(c, factors, out, 0, opts.Workers)
+		return nil
+	}
+
+	// Rank strips with packed factor buffers.
+	packed := make([]*la.Matrix, n)
+	for d := 1; d < n; d++ {
+		m := c.ModeOrder[d]
+		packed[m] = la.NewMatrix(factors[m].Rows, bs)
+	}
+	oPack := la.NewMatrix(out.Rows, bs)
+	pf := make([]*la.Matrix, n)
+	for rr := 0; rr < r; rr += bs {
+		w := bs
+		if rr+w > r {
+			w = r - rr
+		}
+		for d := 1; d < n; d++ {
+			m := c.ModeOrder[d]
+			pv := stripView(packed[m], w)
+			packStrip(pv, factors[m], rr)
+			pf[m] = pv
+		}
+		po := stripView(oPack, w)
+		po.Zero()
+		runOverRoots(c, pf, po, 0, opts.Workers)
+		unpackStrip(out, po, rr)
+	}
+	return nil
+}
+
+func stripView(m *la.Matrix, w int) *la.Matrix {
+	return &la.Matrix{Rows: m.Rows, Cols: w, Stride: m.Stride, Data: m.Data}
+}
+
+func packStrip(dst, src *la.Matrix, rr int) {
+	w := dst.Cols
+	for i := 0; i < dst.Rows; i++ {
+		copy(dst.Row(i), src.Data[i*src.Stride+rr:i*src.Stride+rr+w])
+	}
+}
+
+func unpackStrip(dst, src *la.Matrix, rr int) {
+	w := src.Cols
+	for i := 0; i < src.Rows; i++ {
+		copy(dst.Data[i*dst.Stride+rr:i*dst.Stride+rr+w], src.Row(i))
+	}
+}
+
+// runOverRoots executes the tree walk for all roots, optionally in
+// parallel: distinct roots own distinct output rows, so root ranges are
+// race-free (the same argument as SPLATT's slice parallelism).
+func runOverRoots(c *CSF, factors []*la.Matrix, out *la.Matrix, _ int, workers int) {
+	roots := c.NumNodes(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > roots {
+		workers = roots
+	}
+	if workers <= 1 {
+		w := newWalker(c, factors, out)
+		w.roots(0, roots)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (roots + workers - 1) / workers
+	for lo := 0; lo < roots; lo += chunk {
+		hi := lo + chunk
+		if hi > roots {
+			hi = roots
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			w := newWalker(c, factors, out)
+			w.roots(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// walker carries the per-goroutine DFS state: one accumulator buffer
+// per internal tree level (bufs[d] holds the running value of the
+// current level-d node, the N-mode generalisation of Algorithm 1's s).
+type walker struct {
+	c       *CSF
+	factors []*la.Matrix
+	out     *la.Matrix
+	bufs    [][]float64
+	width   int
+}
+
+func newWalker(c *CSF, factors []*la.Matrix, out *la.Matrix) *walker {
+	n := c.Order()
+	w := &walker{c: c, factors: factors, out: out, width: out.Cols}
+	w.bufs = make([][]float64, n-1)
+	for d := range w.bufs {
+		w.bufs[d] = make([]float64, w.width)
+	}
+	return w
+}
+
+func (w *walker) roots(lo, hi int) {
+	for root := lo; root < hi; root++ {
+		w.node(0, int32(root))
+		orow := w.out.Row(int(w.c.ID[0][root]))
+		buf := w.bufs[0]
+		for q := 0; q < w.width; q++ {
+			orow[q] += buf[q]
+		}
+	}
+}
+
+// node fills bufs[d] with the subtree value of the given level-d node:
+// Σ over leaves below of val · ⊙_{levels e>d} U_{m_e}[id_e].
+func (w *walker) node(d int, nd int32) {
+	buf := w.bufs[d]
+	clear(buf)
+	c := w.c
+	n := c.Order()
+	if d == n-2 {
+		// Children are leaves: the fiber accumulation of Algorithm 1,
+		// register-blocked in 16-wide chunks.
+		leaf := w.factors[c.ModeOrder[n-1]]
+		pLo, pHi := c.Ptr[d][nd], c.Ptr[d][nd+1]
+		q0 := 0
+		for ; q0+16 <= w.width; q0 += 16 {
+			leafAccum16(c, leaf, buf, int(pLo), int(pHi), q0)
+		}
+		for p := pLo; p < pHi; p++ {
+			v := c.Val[p]
+			row := leaf.Row(int(c.ID[n-1][p]))
+			for q := q0; q < w.width; q++ {
+				buf[q] += v * row[q]
+			}
+		}
+		return
+	}
+	mid := w.factors[c.ModeOrder[d+1]]
+	child := w.bufs[d+1]
+	for ch := c.Ptr[d][nd]; ch < c.Ptr[d][nd+1]; ch++ {
+		w.node(d+1, ch)
+		row := mid.Row(int(c.ID[d+1][ch]))
+		for q := 0; q < w.width; q++ {
+			buf[q] += child[q] * row[q]
+		}
+	}
+}
+
+// leafAccum16 accumulates 16 columns of the leaf level into buf with
+// scalar (register) accumulators.
+func leafAccum16(c *CSF, leaf *la.Matrix, buf []float64, pLo, pHi, q0 int) {
+	var a0, a1, a2, a3, a4, a5, a6, a7 float64
+	var a8, a9, a10, a11, a12, a13, a14, a15 float64
+	ld, ls := leaf.Data, leaf.Stride
+	n := c.Order()
+	ids := c.ID[n-1]
+	for p := pLo; p < pHi; p++ {
+		v := c.Val[p]
+		row := ld[int(ids[p])*ls+q0:]
+		row = row[:16:16]
+		a0 += v * row[0]
+		a1 += v * row[1]
+		a2 += v * row[2]
+		a3 += v * row[3]
+		a4 += v * row[4]
+		a5 += v * row[5]
+		a6 += v * row[6]
+		a7 += v * row[7]
+		a8 += v * row[8]
+		a9 += v * row[9]
+		a10 += v * row[10]
+		a11 += v * row[11]
+		a12 += v * row[12]
+		a13 += v * row[13]
+		a14 += v * row[14]
+		a15 += v * row[15]
+	}
+	b := buf[q0:]
+	b = b[:16:16]
+	b[0] += a0
+	b[1] += a1
+	b[2] += a2
+	b[3] += a3
+	b[4] += a4
+	b[5] += a5
+	b[6] += a6
+	b[7] += a7
+	b[8] += a8
+	b[9] += a9
+	b[10] += a10
+	b[11] += a11
+	b[12] += a12
+	b[13] += a13
+	b[14] += a14
+	b[15] += a15
+}

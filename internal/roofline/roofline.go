@@ -1,0 +1,147 @@
+// Package roofline implements the analytic model of Sec. IV-A:
+// Equations 1–3 for the data traffic Q, flop count W and arithmetic
+// intensity I of the SPLATT MTTKRP kernel, the Figure 2 intensity
+// curves, and a machine descriptor for placing the kernel on a roofline.
+package roofline
+
+import (
+	"fmt"
+)
+
+// Params are the model inputs: tensor shape statistics, the
+// decomposition rank and the overall cache hit rate α of Equation 1.
+type Params struct {
+	NNZ    int64
+	Fibers int64
+	Rank   int
+	Alpha  float64
+}
+
+func (p Params) validate() error {
+	if p.NNZ < 0 || p.Fibers < 0 {
+		return fmt.Errorf("roofline: negative shape statistics")
+	}
+	if p.Rank <= 0 {
+		return fmt.Errorf("roofline: rank must be positive, got %d", p.Rank)
+	}
+	if p.Alpha < 0 || p.Alpha > 1 {
+		return fmt.Errorf("roofline: alpha %v outside [0,1]", p.Alpha)
+	}
+	return nil
+}
+
+// Words evaluates Equation 1: the number of 64-bit words moved from
+// memory,
+//
+//	Q = 2·nnz + 2·F + (1−α)·R·nnz + (1−α)·R·F
+//
+// (val + j_index, k_index + k_pointer, mode-2 factor, mode-3 factor;
+// i_pointer and the mode-1 factor are ignored as the paper does).
+func Words(p Params) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	nnz, f := float64(p.NNZ), float64(p.Fibers)
+	r := float64(p.Rank)
+	return 2*nnz + 2*f + (1-p.Alpha)*r*nnz + (1-p.Alpha)*r*f, nil
+}
+
+// Bytes is Words scaled by the paper's 8-byte word assumption.
+func Bytes(p Params) (float64, error) {
+	w, err := Words(p)
+	return w * 8, err
+}
+
+// Flops evaluates Equation 2: W = 2·R·(nnz + F).
+func Flops(p Params) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	return 2 * float64(p.Rank) * float64(p.NNZ+p.Fibers), nil
+}
+
+// Intensity evaluates the exact arithmetic intensity W / (Q·8 bytes)
+// using the full Equations 1–2.
+func Intensity(p Params) (float64, error) {
+	w, err := Flops(p)
+	if err != nil {
+		return 0, err
+	}
+	q, err := Bytes(p)
+	if err != nil {
+		return 0, err
+	}
+	return w / q, nil
+}
+
+// ClosedFormIntensity evaluates Equation 3, the nnz ≫ F simplification
+//
+//	I = R / (8 + 4·R·(1−α))
+//
+// which the paper plots in Figure 2.
+func ClosedFormIntensity(rank int, alpha float64) (float64, error) {
+	if rank <= 0 {
+		return 0, fmt.Errorf("roofline: rank must be positive, got %d", rank)
+	}
+	if alpha < 0 || alpha > 1 {
+		return 0, fmt.Errorf("roofline: alpha %v outside [0,1]", alpha)
+	}
+	r := float64(rank)
+	return r / (8 + 4*r*(1-alpha)), nil
+}
+
+// Figure2Ranks are the rank values on Figure 2's x axis.
+var Figure2Ranks = []int{16, 32, 64, 128, 256, 512, 1024, 2048}
+
+// Figure2Alphas are the cache hit rates of Figure 2's series.
+var Figure2Alphas = []float64{1.0, 0.95, 0.9, 0.8, 0.7, 0.6, 0.4, 0.2, 0.0}
+
+// Figure2Series returns the Figure 2 data: one intensity row per alpha,
+// one column per rank.
+func Figure2Series() ([][]float64, error) {
+	out := make([][]float64, len(Figure2Alphas))
+	for ai, alpha := range Figure2Alphas {
+		row := make([]float64, len(Figure2Ranks))
+		for ri, rank := range Figure2Ranks {
+			v, err := ClosedFormIntensity(rank, alpha)
+			if err != nil {
+				return nil, err
+			}
+			row[ri] = v
+		}
+		out[ai] = row
+	}
+	return out, nil
+}
+
+// Machine describes a roofline: peak floating-point throughput and
+// memory bandwidth.
+type Machine struct {
+	Name      string
+	PeakGFLOP float64 // GFLOP/s
+	MemGBs    float64 // GB/s
+}
+
+// POWER8Socket is the paper's test platform, one socket: 10 cores at
+// 3.49 GHz, each issuing two 128-bit (2-wide) FMA instructions per
+// cycle (Sec. VI-A1) = 10 · 3.49 · 2 · 2 · 2 ≈ 279 GFLOP/s, with about
+// 75 GB/s read bandwidth.
+var POWER8Socket = Machine{Name: "POWER8 socket", PeakGFLOP: 279.2, MemGBs: 75}
+
+// Balance returns the machine's flops-per-byte balance point: kernels
+// with lower arithmetic intensity are memory bound.
+func (m Machine) Balance() float64 { return m.PeakGFLOP / m.MemGBs }
+
+// AttainableGFLOP returns the roofline bound min(peak, I · bandwidth)
+// for a kernel of arithmetic intensity i (flops/byte).
+func (m Machine) AttainableGFLOP(i float64) float64 {
+	mem := i * m.MemGBs
+	if mem < m.PeakGFLOP {
+		return mem
+	}
+	return m.PeakGFLOP
+}
+
+// MemoryBound reports whether a kernel of intensity i is limited by
+// memory bandwidth on m.
+func (m Machine) MemoryBound(i float64) bool { return i < m.Balance() }

@@ -1,0 +1,209 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordsMatchesEquation1(t *testing.T) {
+	p := Params{NNZ: 1000, Fibers: 100, Rank: 16, Alpha: 0.5}
+	got, err := Words(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*1000.0 + 2*100 + 0.5*16*1000 + 0.5*16*100
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Q = %v, want %v", got, want)
+	}
+	b, _ := Bytes(p)
+	if b != got*8 {
+		t.Fatalf("Bytes = %v, want %v", b, got*8)
+	}
+}
+
+func TestFlopsMatchesEquation2(t *testing.T) {
+	p := Params{NNZ: 1000, Fibers: 100, Rank: 16}
+	got, err := Flops(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2*16*1100 {
+		t.Fatalf("W = %v, want %v", got, 2*16*1100)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Params{
+		{NNZ: -1, Fibers: 1, Rank: 1, Alpha: 0},
+		{NNZ: 1, Fibers: -1, Rank: 1, Alpha: 0},
+		{NNZ: 1, Fibers: 1, Rank: 0, Alpha: 0},
+		{NNZ: 1, Fibers: 1, Rank: 1, Alpha: -0.1},
+		{NNZ: 1, Fibers: 1, Rank: 1, Alpha: 1.1},
+	}
+	for n, p := range bad {
+		if _, err := Words(p); err == nil {
+			t.Fatalf("case %d accepted by Words", n)
+		}
+		if _, err := Flops(p); err == nil {
+			t.Fatalf("case %d accepted by Flops", n)
+		}
+		if _, err := Intensity(p); err == nil {
+			t.Fatalf("case %d accepted by Intensity", n)
+		}
+	}
+	if _, err := ClosedFormIntensity(0, 0.5); err == nil {
+		t.Fatal("rank 0 accepted")
+	}
+	if _, err := ClosedFormIntensity(16, 2); err == nil {
+		t.Fatal("alpha 2 accepted")
+	}
+}
+
+func TestClosedFormLimits(t *testing.T) {
+	// Sec. IV-A: intensity ranges from R/(8+4R) at α=0 to R/8 at α=1.
+	for _, r := range []int{16, 128, 2048} {
+		lo, err := ClosedFormIntensity(r, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := float64(r) / (8 + 4*float64(r)); math.Abs(lo-want) > 1e-12 {
+			t.Fatalf("rank %d α=0: %v, want %v", r, lo, want)
+		}
+		hi, err := ClosedFormIntensity(r, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := float64(r) / 8; math.Abs(hi-want) > 1e-12 {
+			t.Fatalf("rank %d α=1: %v, want %v", r, hi, want)
+		}
+	}
+}
+
+func TestPaperQuotedValues(t *testing.T) {
+	// "Even for a very high cache hit rate of 95%, the arithmetic
+	// intensity ranges from 1.43 at rank 16 to at most 4.90 at rank
+	// 2048."
+	v16, _ := ClosedFormIntensity(16, 0.95)
+	if math.Abs(v16-1.43) > 0.01 {
+		t.Fatalf("I(16, .95) = %.3f, want 1.43", v16)
+	}
+	v2048, _ := ClosedFormIntensity(2048, 0.95)
+	if math.Abs(v2048-4.90) > 0.02 {
+		t.Fatalf("I(2048, .95) = %.3f, want 4.90", v2048)
+	}
+}
+
+func TestIntensityConvergesToClosedForm(t *testing.T) {
+	// With nnz >> F the exact intensity approaches Equation 3.
+	p := Params{NNZ: 10_000_000, Fibers: 1000, Rank: 128, Alpha: 0.8}
+	exact, err := Intensity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, _ := ClosedFormIntensity(128, 0.8)
+	if math.Abs(exact-closed)/closed > 0.01 {
+		t.Fatalf("exact %v vs closed form %v differ by more than 1%%", exact, closed)
+	}
+}
+
+func TestFigure2Series(t *testing.T) {
+	series, err := Figure2Series()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(Figure2Alphas) {
+		t.Fatalf("rows = %d", len(series))
+	}
+	for ai, row := range series {
+		if len(row) != len(Figure2Ranks) {
+			t.Fatalf("row %d has %d cols", ai, len(row))
+		}
+		// Intensity grows (weakly) with rank within a series.
+		for c := 1; c < len(row); c++ {
+			if row[c] < row[c-1] {
+				t.Fatalf("α=%v: intensity not monotone in rank: %v", Figure2Alphas[ai], row)
+			}
+		}
+	}
+	// Higher α gives higher intensity at fixed rank (series ordering in
+	// Figure 2). Figure2Alphas is sorted descending.
+	for c := range Figure2Ranks {
+		for ai := 1; ai < len(series); ai++ {
+			if series[ai][c] > series[ai-1][c] {
+				t.Fatalf("rank %d: α=%v above α=%v", Figure2Ranks[c],
+					Figure2Alphas[ai], Figure2Alphas[ai-1])
+			}
+		}
+	}
+}
+
+func TestMachineRoofline(t *testing.T) {
+	m := Machine{Name: "test", PeakGFLOP: 100, MemGBs: 10}
+	if m.Balance() != 10 {
+		t.Fatalf("balance = %v", m.Balance())
+	}
+	if got := m.AttainableGFLOP(5); got != 50 {
+		t.Fatalf("attainable(5) = %v, want 50 (memory bound)", got)
+	}
+	if got := m.AttainableGFLOP(50); got != 100 {
+		t.Fatalf("attainable(50) = %v, want 100 (compute bound)", got)
+	}
+	if !m.MemoryBound(5) || m.MemoryBound(50) {
+		t.Fatal("MemoryBound misclassifies")
+	}
+}
+
+func TestMostlyMemoryBound(t *testing.T) {
+	// The paper's conclusion: "Given that state-of-the-art CPUs and
+	// GPUs today have system balance ranging from 6 to 12, SPLATT
+	// MTTKRP will likely be memory bound in most cases" — at α = 0.95
+	// the intensity never exceeds 4.90, below the whole 6–12 range.
+	generic := Machine{Name: "generic", PeakGFLOP: 600, MemGBs: 100} // balance 6
+	for _, r := range Figure2Ranks {
+		i, _ := ClosedFormIntensity(r, 0.95)
+		if !generic.MemoryBound(i) {
+			t.Fatalf("rank %d at α=.95 classified compute bound (I=%v, balance=%v)",
+				r, i, generic.Balance())
+		}
+	}
+	// "Only when the data fits completely in the cache and the rank is
+	// high enough (> 64), can SPLATT MTTKRP become compute bound":
+	// α = 1 gives I = R/8, which crosses balance 12 above rank 96.
+	steep := Machine{Name: "balance12", PeakGFLOP: 1200, MemGBs: 100}
+	i64, _ := ClosedFormIntensity(64, 1.0)
+	if !steep.MemoryBound(i64) {
+		t.Fatalf("rank 64 fully cached should still be memory bound at balance 12 (I=%v)", i64)
+	}
+	i128, _ := ClosedFormIntensity(128, 1.0)
+	if steep.MemoryBound(i128) {
+		t.Fatalf("rank 128 fully cached should be compute bound at balance 12 (I=%v)", i128)
+	}
+	// POWER8's own single-socket balance is lower still, so the flip
+	// happens there too.
+	if POWER8Socket.MemoryBound(i128) {
+		t.Fatalf("rank 128 fully cached should be compute bound on POWER8 (balance=%v)",
+			POWER8Socket.Balance())
+	}
+}
+
+// Property: intensity is monotone in alpha and bounded by R/8.
+func TestQuickIntensityMonotoneInAlpha(t *testing.T) {
+	f := func(rank uint16, a1, a2 uint8) bool {
+		r := int(rank%2048) + 1
+		x := float64(a1%101) / 100
+		y := float64(a2%101) / 100
+		if x > y {
+			x, y = y, x
+		}
+		ix, err1 := ClosedFormIntensity(r, x)
+		iy, err2 := ClosedFormIntensity(r, y)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ix <= iy+1e-12 && iy <= float64(r)/8+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

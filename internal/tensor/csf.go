@@ -1,0 +1,202 @@
+package tensor
+
+import (
+	"fmt"
+)
+
+// CSF is the SPLATT storage of Figure 1b: nonzeros grouped into mode-2
+// fibers (fixed i and k, varying j), fibers grouped into slices
+// (fixed i).
+//
+// Unlike the figure, which keeps an i_pointer entry for every row, we
+// store only non-empty slices together with their row ids. For the
+// full tensors of the paper the two are equivalent (the paper ignores
+// i_pointer traffic in its byte model because it is negligible); for
+// the sub-tensors produced by multi-dimensional blocking, compressing
+// empty slices is essential because each block sees only a fraction of
+// the rows.
+type CSF struct {
+	Dims Dims
+
+	// SliceID[s] is the mode-1 coordinate of slice s; slices are in
+	// increasing order. len(SliceID) == number of non-empty slices.
+	SliceID []Index
+	// SlicePtr[s] .. SlicePtr[s+1] is the fiber range of slice s.
+	SlicePtr []int32
+	// FiberK[f] is the mode-3 coordinate shared by fiber f's nonzeros.
+	FiberK []Index
+	// FiberPtr[f] .. FiberPtr[f+1] is the nonzero range of fiber f.
+	FiberPtr []int32
+	// NzJ[p] is the mode-2 coordinate of nonzero p.
+	NzJ []Index
+	// Val[p] is the value of nonzero p.
+	Val []float64
+}
+
+// NNZ returns the number of stored nonzeros.
+func (c *CSF) NNZ() int { return len(c.Val) }
+
+// NumFibers returns the number of non-empty mode-2 fibers.
+func (c *CSF) NumFibers() int { return len(c.FiberK) }
+
+// NumSlices returns the number of non-empty mode-1 slices.
+func (c *CSF) NumSlices() int { return len(c.SliceID) }
+
+// MemoryBytes reports the actual in-memory footprint of this structure
+// (4-byte indices/pointers, 8-byte values).
+func (c *CSF) MemoryBytes() int64 {
+	return int64(4*(len(c.SliceID)+len(c.SlicePtr)+len(c.FiberK)+len(c.FiberPtr)+len(c.NzJ)) +
+		8*len(c.Val))
+}
+
+// PaperMemoryBytes reports the paper's Sec. III-C byte model for the
+// SPLATT format, 16 + 8·I + 16·F + 16·nnz, which assumes 64-bit indices
+// and a dense i_pointer array.
+func (c *CSF) PaperMemoryBytes() int64 {
+	return 16 + 8*int64(c.Dims[0]) + 16*int64(c.NumFibers()) + 16*int64(c.NNZ())
+}
+
+// BuildCSF converts a COO tensor into the SPLATT structure. The input
+// is not modified; a fiber-sorted copy is made unless the input is
+// already sorted. Duplicate coordinates are kept as distinct nonzeros
+// (run Dedup first if that matters).
+func BuildCSF(t *COO) (*CSF, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	src := t
+	if !t.IsFiberSorted() {
+		src = t.Clone()
+		src.SortFiberOrder()
+	}
+	return buildCSFSorted(src), nil
+}
+
+// buildCSFSorted builds the structure from entries already in (i, k, j)
+// order.
+func buildCSFSorted(t *COO) *CSF {
+	nnz := t.NNZ()
+	c := &CSF{Dims: t.Dims}
+	if nnz == 0 {
+		c.SlicePtr = []int32{0}
+		c.FiberPtr = []int32{0}
+		return c
+	}
+	// First pass: count slices and fibers.
+	slices, fibers := 1, 1
+	for p := 1; p < nnz; p++ {
+		if t.I[p] != t.I[p-1] {
+			slices++
+			fibers++
+		} else if t.K[p] != t.K[p-1] {
+			fibers++
+		}
+	}
+	c.SliceID = make([]Index, 0, slices)
+	c.SlicePtr = make([]int32, 0, slices+1)
+	c.FiberK = make([]Index, 0, fibers)
+	c.FiberPtr = make([]int32, 0, fibers+1)
+	c.NzJ = make([]Index, nnz)
+	c.Val = make([]float64, nnz)
+	copy(c.NzJ, t.J)
+	copy(c.Val, t.Val)
+
+	for p := 0; p < nnz; p++ {
+		newSlice := p == 0 || t.I[p] != t.I[p-1]
+		if newSlice {
+			c.SliceID = append(c.SliceID, t.I[p])
+			c.SlicePtr = append(c.SlicePtr, int32(len(c.FiberK)))
+		}
+		if newSlice || t.K[p] != t.K[p-1] {
+			c.FiberK = append(c.FiberK, t.K[p])
+			c.FiberPtr = append(c.FiberPtr, int32(p))
+		}
+	}
+	c.SlicePtr = append(c.SlicePtr, int32(len(c.FiberK)))
+	c.FiberPtr = append(c.FiberPtr, int32(nnz))
+	return c
+}
+
+// ToCOO expands the structure back to coordinate format in fiber-sorted
+// order.
+func (c *CSF) ToCOO() *COO {
+	out := NewCOO(c.Dims, c.NNZ())
+	for s := 0; s < c.NumSlices(); s++ {
+		i := c.SliceID[s]
+		for f := c.SlicePtr[s]; f < c.SlicePtr[s+1]; f++ {
+			k := c.FiberK[f]
+			for p := c.FiberPtr[f]; p < c.FiberPtr[f+1]; p++ {
+				out.Append(i, c.NzJ[p], k, c.Val[p])
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks the structural invariants of the CSF layout:
+// monotone pointers, sorted slice ids, sorted fiber keys within each
+// slice, sorted j within each fiber, and in-range coordinates.
+func (c *CSF) Validate() error {
+	if !c.Dims.Valid() {
+		return fmt.Errorf("%w: non-positive dims %v", ErrBadTensor, c.Dims)
+	}
+	s := c.NumSlices()
+	if len(c.SlicePtr) != s+1 {
+		return fmt.Errorf("%w: SlicePtr length %d, want %d", ErrBadTensor, len(c.SlicePtr), s+1)
+	}
+	f := c.NumFibers()
+	if len(c.FiberPtr) != f+1 {
+		return fmt.Errorf("%w: FiberPtr length %d, want %d", ErrBadTensor, len(c.FiberPtr), f+1)
+	}
+	if len(c.NzJ) != len(c.Val) {
+		return fmt.Errorf("%w: NzJ/Val length mismatch", ErrBadTensor)
+	}
+	if c.SlicePtr[0] != 0 || int(c.SlicePtr[s]) != f {
+		return fmt.Errorf("%w: SlicePtr does not span fibers", ErrBadTensor)
+	}
+	if c.FiberPtr[0] != 0 || int(c.FiberPtr[f]) != c.NNZ() {
+		return fmt.Errorf("%w: FiberPtr does not span nonzeros", ErrBadTensor)
+	}
+	for x := 0; x < s; x++ {
+		if c.SliceID[x] < 0 || int(c.SliceID[x]) >= c.Dims[0] {
+			return fmt.Errorf("%w: slice id %d out of range", ErrBadTensor, c.SliceID[x])
+		}
+		if x > 0 && c.SliceID[x] <= c.SliceID[x-1] {
+			return fmt.Errorf("%w: slice ids not strictly increasing at %d", ErrBadTensor, x)
+		}
+		if c.SlicePtr[x] >= c.SlicePtr[x+1] {
+			return fmt.Errorf("%w: empty slice %d stored", ErrBadTensor, x)
+		}
+		for y := c.SlicePtr[x]; y < c.SlicePtr[x+1]; y++ {
+			if c.FiberK[y] < 0 || int(c.FiberK[y]) >= c.Dims[2] {
+				return fmt.Errorf("%w: fiber k %d out of range", ErrBadTensor, c.FiberK[y])
+			}
+			if y > c.SlicePtr[x] && c.FiberK[y] <= c.FiberK[y-1] {
+				return fmt.Errorf("%w: fiber keys not increasing in slice %d", ErrBadTensor, x)
+			}
+			if c.FiberPtr[y] >= c.FiberPtr[y+1] {
+				return fmt.Errorf("%w: empty fiber %d stored", ErrBadTensor, y)
+			}
+			for p := c.FiberPtr[y]; p < c.FiberPtr[y+1]; p++ {
+				if c.NzJ[p] < 0 || int(c.NzJ[p]) >= c.Dims[1] {
+					return fmt.Errorf("%w: j index %d out of range", ErrBadTensor, c.NzJ[p])
+				}
+				if p > c.FiberPtr[y] && c.NzJ[p] < c.NzJ[p-1] {
+					return fmt.Errorf("%w: j indices not sorted in fiber %d", ErrBadTensor, y)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// AvgFiberLength returns nnz / fibers, the quantity that controls how
+// much work the SPLATT format saves over COO (Sec. III-C: "the more
+// nonzeros there are in the fiber, the more computation and data
+// movement can be saved").
+func (c *CSF) AvgFiberLength() float64 {
+	if c.NumFibers() == 0 {
+		return 0
+	}
+	return float64(c.NNZ()) / float64(c.NumFibers())
+}

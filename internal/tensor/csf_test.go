@@ -1,0 +1,207 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildCSFEmpty(t *testing.T) {
+	c := NewCOO(Dims{4, 4, 4}, 0)
+	csf, err := BuildCSF(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csf.NNZ() != 0 || csf.NumFibers() != 0 || csf.NumSlices() != 0 {
+		t.Fatal("empty CSF has phantom content")
+	}
+	if err := csf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	back := csf.ToCOO()
+	if back.NNZ() != 0 {
+		t.Fatal("empty round trip failed")
+	}
+}
+
+func TestBuildCSFRejectsInvalid(t *testing.T) {
+	bad := NewCOO(Dims{2, 2, 2}, 0)
+	bad.Append(5, 0, 0, 1)
+	if _, err := BuildCSF(bad); err == nil {
+		t.Fatal("BuildCSF accepted out-of-range tensor")
+	}
+}
+
+func TestBuildCSFDoesNotMutateInput(t *testing.T) {
+	c := NewCOO(Dims{3, 3, 3}, 0)
+	c.Append(2, 2, 2, 1)
+	c.Append(0, 0, 0, 2) // unsorted on purpose
+	wasSorted := c.IsFiberSorted()
+	if wasSorted {
+		t.Fatal("test setup: input should be unsorted")
+	}
+	if _, err := BuildCSF(c); err != nil {
+		t.Fatal(err)
+	}
+	if c.IsFiberSorted() {
+		t.Fatal("BuildCSF sorted the caller's tensor in place")
+	}
+}
+
+func TestCSFRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, nnz := range []int{1, 2, 17, 300} {
+		c := randomCOO(rng, Dims{7, 8, 9}, nnz)
+		c.Dedup()
+		csf, err := BuildCSF(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := csf.Validate(); err != nil {
+			t.Fatalf("nnz=%d: %v", nnz, err)
+		}
+		back := csf.ToCOO()
+		if !sameMultiset(entryMultiset(c), entryMultiset(back)) {
+			t.Fatalf("nnz=%d: round trip changed entries", nnz)
+		}
+		if !back.IsFiberSorted() {
+			t.Fatal("ToCOO output not fiber sorted")
+		}
+	}
+}
+
+func TestCSFCountsMatchCOO(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := randomCOO(rng, Dims{10, 10, 10}, 400)
+	c.Dedup()
+	csf, err := BuildCSF(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csf.NNZ() != c.NNZ() {
+		t.Fatalf("nnz %d != %d", csf.NNZ(), c.NNZ())
+	}
+	if csf.NumFibers() != c.CountFibers() {
+		t.Fatalf("fibers %d != %d", csf.NumFibers(), c.CountFibers())
+	}
+	// Slice count equals distinct i values.
+	seen := map[Index]bool{}
+	for _, i := range c.I {
+		seen[i] = true
+	}
+	if csf.NumSlices() != len(seen) {
+		t.Fatalf("slices %d != %d", csf.NumSlices(), len(seen))
+	}
+}
+
+func TestCSFMemoryModels(t *testing.T) {
+	c := NewCOO(Dims{3, 3, 3}, 7)
+	c.Append(0, 0, 0, 5)
+	c.Append(0, 1, 1, 3)
+	c.Append(0, 1, 2, 1)
+	c.Append(1, 0, 2, 2)
+	c.Append(1, 1, 1, 9)
+	c.Append(1, 2, 2, 7)
+	c.Append(2, 0, 0, 9)
+	csf, err := BuildCSF(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper model: 16 + 8*3 + 16*6 + 16*7 = 248.
+	if got := csf.PaperMemoryBytes(); got != 248 {
+		t.Fatalf("PaperMemoryBytes = %d, want 248", got)
+	}
+	// Actual: 4*(3 slices + 4 sliceptr + 6 fiberK + 7 fiberptr + 7 nzJ) + 8*7 = 4*27+56 = 164.
+	if got := csf.MemoryBytes(); got != 164 {
+		t.Fatalf("MemoryBytes = %d, want 164", got)
+	}
+	// COO paper model for comparison: 32*7 = 224 > SPLATT in fiber-rich data.
+	if ComputeStats(c).COOBytes != 224 {
+		t.Fatal("COO byte model wrong")
+	}
+}
+
+func TestCSFValidateCatchesCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	fresh := func() *CSF {
+		c := randomCOO(rng, Dims{5, 5, 5}, 60)
+		c.Dedup()
+		csf, err := BuildCSF(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return csf
+	}
+
+	corruptions := []struct {
+		name string
+		mut  func(c *CSF)
+	}{
+		{"slice id out of range", func(c *CSF) { c.SliceID[0] = 99 }},
+		{"slice ids out of order", func(c *CSF) {
+			if len(c.SliceID) > 1 {
+				c.SliceID[1] = c.SliceID[0]
+			} else {
+				c.SliceID[0] = -1
+			}
+		}},
+		{"fiber k out of range", func(c *CSF) { c.FiberK[0] = -3 }},
+		{"j out of range", func(c *CSF) { c.NzJ[0] = 99 }},
+		{"sliceptr broken", func(c *CSF) { c.SlicePtr[0] = 1 }},
+		{"fiberptr broken", func(c *CSF) { c.FiberPtr[len(c.FiberPtr)-1]++ }},
+		{"ragged val", func(c *CSF) { c.Val = c.Val[:len(c.Val)-1] }},
+	}
+	for _, tc := range corruptions {
+		csf := fresh()
+		tc.mut(csf)
+		if err := csf.Validate(); err == nil {
+			t.Fatalf("%s: Validate accepted corrupted structure", tc.name)
+		}
+	}
+}
+
+func TestAvgFiberLength(t *testing.T) {
+	c := NewCOO(Dims{2, 4, 2}, 0)
+	// One fiber with 4 nonzeros, one with 2.
+	for j := 0; j < 4; j++ {
+		c.Append(0, Index(j), 0, 1)
+	}
+	c.Append(1, 0, 1, 1)
+	c.Append(1, 1, 1, 1)
+	csf, err := BuildCSF(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := csf.AvgFiberLength(); got != 3 {
+		t.Fatalf("AvgFiberLength = %v, want 3", got)
+	}
+	empty := &CSF{Dims: Dims{1, 1, 1}, SlicePtr: []int32{0}, FiberPtr: []int32{0}}
+	if empty.AvgFiberLength() != 0 {
+		t.Fatal("empty AvgFiberLength should be 0")
+	}
+}
+
+// Property: COO -> CSF -> COO round-trips the entry multiset and the
+// CSF always validates, for arbitrary deduped tensors.
+func TestQuickCSFRoundTrip(t *testing.T) {
+	f := func(seed int64, di, dj, dk uint8, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := Dims{int(di%9) + 1, int(dj%9) + 1, int(dk%9) + 1}
+		c := randomCOO(rng, dims, int(n%400))
+		c.Dedup()
+		csf, err := BuildCSF(c)
+		if err != nil {
+			return false
+		}
+		if csf.Validate() != nil {
+			return false
+		}
+		if csf.NumFibers() != c.CountFibers() || csf.NNZ() != c.NNZ() {
+			return false
+		}
+		return sameMultiset(entryMultiset(c), entryMultiset(csf.ToCOO()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

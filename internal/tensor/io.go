@@ -1,0 +1,163 @@
+package tensor
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadTNS parses a FROSTT-style text tensor: one nonzero per line as
+// "i j k value" with 1-based coordinates, blank lines and '#' comments
+// ignored. Mode lengths are the maximum coordinate seen unless a
+// comment of the form "# dims: I J K" declares them.
+func ReadTNS(r io.Reader) (*COO, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	t := NewCOO(Dims{1, 1, 1}, 1024)
+	var declared *Dims
+	line := 0
+	var maxI, maxJ, maxK Index
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if rest, ok := strings.CutPrefix(text, "# dims:"); ok {
+				var d Dims
+				if _, err := fmt.Sscan(rest, &d[0], &d[1], &d[2]); err != nil {
+					return nil, fmt.Errorf("tensor: line %d: bad dims comment: %w", line, err)
+				}
+				declared = &d
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("tensor: line %d: want 4 fields (i j k val), got %d", line, len(fields))
+		}
+		var coord [3]int64
+		for m := 0; m < 3; m++ {
+			v, err := strconv.ParseInt(fields[m], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("tensor: line %d: bad coordinate %q: %w", line, fields[m], err)
+			}
+			if v < 1 {
+				return nil, fmt.Errorf("tensor: line %d: coordinates are 1-based, got %d", line, v)
+			}
+			if v > 1<<31-1 {
+				return nil, fmt.Errorf("tensor: line %d: coordinate %d exceeds int32 range", line, v)
+			}
+			coord[m] = v
+		}
+		val, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("tensor: line %d: bad value %q: %w", line, fields[3], err)
+		}
+		i, j, k := Index(coord[0]-1), Index(coord[1]-1), Index(coord[2]-1)
+		if i+1 > maxI {
+			maxI = i + 1
+		}
+		if j+1 > maxJ {
+			maxJ = j + 1
+		}
+		if k+1 > maxK {
+			maxK = k + 1
+		}
+		t.Append(i, j, k, val)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tensor: read: %w", err)
+	}
+	if declared != nil {
+		t.Dims = *declared
+	} else {
+		t.Dims = Dims{int(maxI), int(maxJ), int(maxK)}
+		if t.NNZ() == 0 {
+			t.Dims = Dims{1, 1, 1}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// WriteTNS writes the tensor in FROSTT text form with a dims comment so
+// trailing empty slices survive a round trip.
+func WriteTNS(w io.Writer, t *COO) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# dims: %d %d %d\n", t.Dims[0], t.Dims[1], t.Dims[2]); err != nil {
+		return err
+	}
+	for p := 0; p < t.NNZ(); p++ {
+		if _, err := fmt.Fprintf(bw, "%d %d %d %s\n",
+			t.I[p]+1, t.J[p]+1, t.K[p]+1,
+			strconv.FormatFloat(t.Val[p], 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadTNSFile reads a tensor from a file path.
+func LoadTNSFile(path string) (*COO, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTNS(f)
+}
+
+// SaveTNSFile writes a tensor to a file path.
+func SaveTNSFile(path string, t *COO) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTNS(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Stats summarises a tensor's shape, in the vocabulary of Table II and
+// the Sec. IV byte model.
+type Stats struct {
+	Dims           Dims
+	NNZ            int
+	Fibers         int
+	Density        float64
+	AvgFiberLength float64
+	COOBytes       int64 // paper model: 32 * nnz
+	SPLATTBytes    int64 // paper model: 16 + 8I + 16F + 16nnz
+}
+
+// ComputeStats gathers Stats for a COO tensor.
+func ComputeStats(t *COO) Stats {
+	f := t.CountFibers()
+	s := Stats{
+		Dims:     t.Dims,
+		NNZ:      t.NNZ(),
+		Fibers:   f,
+		Density:  t.Density(),
+		COOBytes: 32 * int64(t.NNZ()),
+		SPLATTBytes: 16 + 8*int64(t.Dims[0]) +
+			16*int64(f) + 16*int64(t.NNZ()),
+	}
+	if f > 0 {
+		s.AvgFiberLength = float64(t.NNZ()) / float64(f)
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%v nnz=%d fibers=%d density=%.3g avgFiber=%.2f",
+		s.Dims, s.NNZ, s.Fibers, s.Density, s.AvgFiberLength)
+}

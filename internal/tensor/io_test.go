@@ -1,0 +1,173 @@
+package tensor
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadTNSBasic(t *testing.T) {
+	in := `# a comment
+1 1 1 5.0
+
+1 2 2 3
+3 1 1 9.5
+`
+	c, err := ReadTNS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != 3 {
+		t.Fatalf("nnz = %d", c.NNZ())
+	}
+	if c.Dims != (Dims{3, 2, 2}) {
+		t.Fatalf("dims = %v", c.Dims)
+	}
+	if c.I[2] != 2 || c.Val[2] != 9.5 {
+		t.Fatal("entries parsed wrong")
+	}
+}
+
+func TestReadTNSDimsComment(t *testing.T) {
+	in := "# dims: 10 20 30\n1 1 1 1\n"
+	c, err := ReadTNS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dims != (Dims{10, 20, 30}) {
+		t.Fatalf("dims = %v", c.Dims)
+	}
+}
+
+func TestReadTNSErrors(t *testing.T) {
+	cases := map[string]string{
+		"too few fields":      "1 1 1\n",
+		"too many fields":     "1 1 1 1 1\n",
+		"bad coordinate":      "x 1 1 1\n",
+		"zero coordinate":     "0 1 1 1\n",
+		"negative coordinate": "-2 1 1 1\n",
+		"bad value":           "1 1 1 zz\n",
+		"bad dims comment":    "# dims: 1 2\n1 1 1 1\n",
+		"coordinate too big":  "4294967296 1 1 1\n",
+		"dims below data":     "# dims: 1 1 1\n2 1 1 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadTNS(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error for %q", name, in)
+		}
+	}
+}
+
+func TestReadTNSEmpty(t *testing.T) {
+	c, err := ReadTNS(strings.NewReader("# nothing\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != 0 {
+		t.Fatal("phantom entries")
+	}
+	if !c.Dims.Valid() {
+		t.Fatal("empty tensor must still have valid dims")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	orig := randomCOO(rng, Dims{9, 5, 7}, 150)
+	orig.Dedup()
+	var buf bytes.Buffer
+	if err := WriteTNS(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTNS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dims != orig.Dims {
+		t.Fatalf("dims %v != %v", back.Dims, orig.Dims)
+	}
+	if !sameMultiset(entryMultiset(orig), entryMultiset(back)) {
+		t.Fatal("round trip changed entries")
+	}
+}
+
+func TestRoundTripPreservesEmptyTrailingSlices(t *testing.T) {
+	c := NewCOO(Dims{100, 100, 100}, 0)
+	c.Append(0, 0, 0, 1) // only the first cell is used
+	var buf bytes.Buffer
+	if err := WriteTNS(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTNS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dims != c.Dims {
+		t.Fatalf("dims comment lost: %v", back.Dims)
+	}
+}
+
+func TestFileSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.tns")
+	rng := rand.New(rand.NewSource(4))
+	orig := randomCOO(rng, Dims{4, 4, 4}, 20)
+	orig.Dedup()
+	if err := SaveTNSFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTNSFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(entryMultiset(orig), entryMultiset(back)) {
+		t.Fatal("file round trip changed entries")
+	}
+	if _, err := LoadTNSFile(filepath.Join(dir, "missing.tns")); err == nil {
+		t.Fatal("loading a missing file should fail")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	c := NewCOO(Dims{10, 10, 10}, 0)
+	c.Append(0, 0, 0, 1)
+	c.Append(0, 1, 0, 1) // same fiber
+	c.Append(0, 0, 1, 1) // new fiber
+	s := ComputeStats(c)
+	if s.NNZ != 3 || s.Fibers != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Density != 3e-3 {
+		t.Fatalf("density = %v", s.Density)
+	}
+	if s.AvgFiberLength != 1.5 {
+		t.Fatalf("avg fiber = %v", s.AvgFiberLength)
+	}
+	if s.COOBytes != 96 {
+		t.Fatalf("COOBytes = %d", s.COOBytes)
+	}
+	if s.SPLATTBytes != 16+80+32+48 {
+		t.Fatalf("SPLATTBytes = %d", s.SPLATTBytes)
+	}
+	if !strings.Contains(s.String(), "nnz=3") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestWriteTNSPreservesPrecision(t *testing.T) {
+	c := NewCOO(Dims{1, 1, 1}, 0)
+	c.Append(0, 0, 0, 0.1234567890123456789)
+	var buf bytes.Buffer
+	if err := WriteTNS(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTNS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Val[0] != c.Val[0] {
+		t.Fatalf("value %v != %v", back.Val[0], c.Val[0])
+	}
+}

@@ -1,0 +1,217 @@
+// Package spblock is a Go implementation of the blocking optimisation
+// techniques for sparse tensor computation of Choi, Liu, Smith and
+// Simon (IPDPS 2018): the SPLATT-format sparse MTTKRP kernel, the
+// multi-dimensional (MB) and rank (RankB) blocking optimisations with
+// register blocking, the block-size selection heuristic, the CP-ALS
+// decomposition built on top, and a distributed MTTKRP with the
+// paper's 4D (rank-partitioned) processor grid.
+//
+// Quick start:
+//
+//	x, _ := spblock.LoadTNS("data.tns")
+//	plan, _, _ := spblock.Autotune(x, 64, spblock.MethodMBRankB, spblock.AutotuneOptions{})
+//	exec, _ := spblock.NewExecutor(x, plan)
+//	b := spblock.NewMatrix(x.Dims[1], 64) // fill with your factors
+//	c := spblock.NewMatrix(x.Dims[2], 64)
+//	out := spblock.NewMatrix(x.Dims[0], 64)
+//	_ = exec.Run(b, c, out) // out = X(1) · (B ⊙ C)
+//
+// The facade re-exports the library's primary types; the analysis
+// tooling (roofline model, cache simulator, pressure point analysis,
+// experiment harness) lives in the internal packages and is exposed
+// through the cmd/spblock-exp command.
+package spblock
+
+import (
+	"io"
+
+	"spblock/internal/core"
+	"spblock/internal/cpapr"
+	"spblock/internal/cpd"
+	"spblock/internal/dist"
+	"spblock/internal/gen"
+	"spblock/internal/la"
+	"spblock/internal/mpi"
+	"spblock/internal/nmode"
+	"spblock/internal/tensor"
+)
+
+// Core data types.
+type (
+	// Tensor is a third-order sparse tensor in coordinate form.
+	Tensor = tensor.COO
+	// Dims holds the three mode lengths.
+	Dims = tensor.Dims
+	// CSF is the SPLATT compressed-fiber storage (Figure 1b of the paper).
+	CSF = tensor.CSF
+	// Stats summarises a tensor's shape (Table II vocabulary).
+	Stats = tensor.Stats
+	// Matrix is a dense row-major factor matrix.
+	Matrix = la.Matrix
+
+	// Plan selects and parameterises an MTTKRP kernel.
+	Plan = core.Plan
+	// Method names one of the kernel families.
+	Method = core.Method
+	// Executor owns preprocessed structures and runs MTTKRP repeatedly.
+	Executor = core.Executor
+	// BlockedTensor is the multi-dimensionally blocked representation.
+	BlockedTensor = core.BlockedTensor
+	// AutotuneOptions configures the Sec. V-C block-size heuristic.
+	AutotuneOptions = core.AutotuneOptions
+	// Trial is one measured autotuning candidate.
+	Trial = core.Trial
+
+	// CPOptions configures a CP-ALS decomposition.
+	CPOptions = cpd.Options
+	// CPResult is a fitted Kruskal tensor.
+	CPResult = cpd.Result
+	// APROptions configures a Poisson (KL) nonnegative decomposition.
+	APROptions = cpapr.Options
+	// APRResult is a fitted nonnegative Kruskal tensor.
+	APRResult = cpapr.Result
+
+	// DistConfig configures a distributed MTTKRP execution.
+	DistConfig = dist.Config
+	// DistResult reports a distributed execution.
+	DistResult = dist.Result
+	// DistEngine owns a reusable distributed MTTKRP setup.
+	DistEngine = dist.Engine
+	// DistCPOptions configures a distributed CP-ALS decomposition.
+	DistCPOptions = dist.CPOptions
+	// DistCPResult reports a distributed decomposition.
+	DistCPResult = dist.CPResult
+	// CostModel prices communication in the distributed runtime.
+	CostModel = mpi.CostModel
+
+	// DatasetSpec describes a Table II data set generator.
+	DatasetSpec = gen.DatasetSpec
+
+	// TensorN is an order-N sparse tensor in coordinate form.
+	TensorN = nmode.Tensor
+	// CSFN is the order-N compressed-sparse-fiber tree.
+	CSFN = nmode.CSF
+	// OptionsN configures the order-N MTTKRP (rank strips, workers).
+	OptionsN = nmode.Options
+	// CPNOptions configures an order-N CP-ALS decomposition.
+	CPNOptions = cpd.NOptions
+	// CPNResult is a fitted order-N Kruskal tensor.
+	CPNResult = cpd.NResult
+)
+
+// Kernel methods.
+const (
+	// MethodCOO is the coordinate-format reference kernel.
+	MethodCOO = core.MethodCOO
+	// MethodSPLATT is the baseline SPLATT kernel (Algorithm 1).
+	MethodSPLATT = core.MethodSPLATT
+	// MethodMB applies multi-dimensional blocking.
+	MethodMB = core.MethodMB
+	// MethodRankB applies rank blocking with register blocking
+	// (Algorithm 2).
+	MethodRankB = core.MethodRankB
+	// MethodMBRankB combines both blockings.
+	MethodMBRankB = core.MethodMBRankB
+)
+
+// RegisterBlockWidth is the register-blocking width (16 float64 lanes).
+const RegisterBlockWidth = core.RegisterBlockWidth
+
+// NewTensor allocates an empty tensor with the given mode lengths.
+func NewTensor(dims Dims, capacity int) *Tensor { return tensor.NewCOO(dims, capacity) }
+
+// NewMatrix allocates a zeroed rows × cols factor matrix.
+func NewMatrix(rows, cols int) *Matrix { return la.NewMatrix(rows, cols) }
+
+// LoadTNS reads a FROSTT-style text tensor from a file.
+func LoadTNS(path string) (*Tensor, error) { return tensor.LoadTNSFile(path) }
+
+// SaveTNS writes a tensor to a file in FROSTT text form.
+func SaveTNS(path string, t *Tensor) error { return tensor.SaveTNSFile(path, t) }
+
+// ReadTNS parses a FROSTT-style text tensor from a reader.
+func ReadTNS(r io.Reader) (*Tensor, error) { return tensor.ReadTNS(r) }
+
+// WriteTNS writes a tensor in FROSTT text form.
+func WriteTNS(w io.Writer, t *Tensor) error { return tensor.WriteTNS(w, t) }
+
+// BuildCSF converts a tensor to the SPLATT storage format.
+func BuildCSF(t *Tensor) (*CSF, error) { return tensor.BuildCSF(t) }
+
+// ComputeStats gathers shape statistics for a tensor.
+func ComputeStats(t *Tensor) Stats { return tensor.ComputeStats(t) }
+
+// NewExecutor preprocesses t for the plan; Run it once per MTTKRP.
+func NewExecutor(t *Tensor, plan Plan) (*Executor, error) { return core.NewExecutor(t, plan) }
+
+// MTTKRP computes out = X₍₁₎ · (B ⊙ C) once with the given plan.
+func MTTKRP(t *Tensor, b, c, out *Matrix, plan Plan) error {
+	return core.MTTKRP(t, b, c, out, plan)
+}
+
+// BuildBlocked reorganises t into the grid blocks of MB blocking.
+func BuildBlocked(t *Tensor, grid [3]int) (*BlockedTensor, error) {
+	return core.BuildBlocked(t, grid)
+}
+
+// Autotune runs the Sec. V-C heuristic and returns a tuned plan.
+func Autotune(t *Tensor, rank int, method Method, opts AutotuneOptions) (Plan, []Trial, error) {
+	return core.Autotune(t, rank, method, opts)
+}
+
+// CPALS decomposes t into a rank-R Kruskal tensor with alternating
+// least squares, using the plan's MTTKRP kernel for all three modes.
+func CPALS(t *Tensor, opts CPOptions) (*CPResult, error) { return cpd.CPALS(t, opts) }
+
+// CPAPR fits a nonnegative rank-R model to a count tensor by
+// minimising the KL divergence (Poisson likelihood) with multiplicative
+// updates — the model family the paper's Poisson data sets come from.
+func CPAPR(t *Tensor, opts APROptions) (*APRResult, error) { return cpapr.Decompose(t, opts) }
+
+// DistMTTKRP runs the distributed mode-1 MTTKRP (medium-grained 3D, or
+// the paper's 4D when cfg.RankParts > 1) on the in-process MPI runtime.
+func DistMTTKRP(t *Tensor, b, c *Matrix, cfg DistConfig) (*DistResult, error) {
+	return dist.MTTKRP(t, b, c, cfg)
+}
+
+// NewDistEngine partitions t once for repeated distributed MTTKRP runs
+// at the given rank.
+func NewDistEngine(t *Tensor, rank int, cfg DistConfig) (*DistEngine, error) {
+	return dist.NewEngine(t, rank, cfg)
+}
+
+// DistCPALS runs a full CP-ALS decomposition with every MTTKRP executed
+// on the distributed runtime.
+func DistCPALS(t *Tensor, cfg DistConfig, opts DistCPOptions) (*DistCPResult, error) {
+	return dist.CPALS(t, cfg, opts)
+}
+
+// DefaultCluster is the distributed runtime's default network model.
+func DefaultCluster() CostModel { return mpi.DefaultCluster() }
+
+// NewTensorN allocates an empty order-N tensor.
+func NewTensorN(dims []int, capacity int) *TensorN { return nmode.NewTensor(dims, capacity) }
+
+// LoadTNSN reads an order-N FROSTT text tensor from a file.
+func LoadTNSN(path string) (*TensorN, error) { return nmode.LoadTNSFile(path) }
+
+// SaveTNSN writes an order-N tensor to a file in FROSTT text form.
+func SaveTNSN(path string, t *TensorN) error { return nmode.SaveTNSFile(path, t) }
+
+// BuildCSFN converts an order-N tensor to the CSF tree; modeOrder nil
+// puts mode 0 at the root with the remaining modes short-to-long.
+func BuildCSFN(t *TensorN, modeOrder []int) (*CSFN, error) { return nmode.Build(t, modeOrder) }
+
+// MTTKRPN computes the order-N MTTKRP for the CSF tree's root mode.
+func MTTKRPN(c *CSFN, factors []*Matrix, out *Matrix, opts OptionsN) error {
+	return nmode.MTTKRP(c, factors, out, opts)
+}
+
+// CPALSN decomposes an order-N tensor with alternating least squares.
+func CPALSN(t *TensorN, opts CPNOptions) (*CPNResult, error) { return cpd.CPALSN(t, opts) }
+
+// Datasets returns the Table II data-set registry names.
+func Datasets() []string { return gen.Names() }
+
+// LookupDataset fetches a Table II data-set spec by name.
+func LookupDataset(name string) (DatasetSpec, error) { return gen.Lookup(name) }
