@@ -117,7 +117,11 @@ func benchKernel(b *testing.B, plan spblock.Plan) {
 	}
 	stats := spblock.ComputeStats(x)
 	flops := 2 * int64(out.Cols) * (int64(stats.NNZ) + int64(stats.Fibers))
-	b.SetBytes(flops) // reported "MB/s" is really MFLOP/s x 1e-6
+	b.SetBytes(flops)                             // reported "MB/s" is really MFLOP/s x 1e-6
+	b.ReportAllocs()                              // steady-state Run must stay at 0 allocs/op
+	if err := exec.Run(bm, cm, out); err != nil { // warm-up sizes the workspace
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := exec.Run(bm, cm, out); err != nil {

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"spblock/internal/la"
+	"spblock/internal/tensor"
+)
+
+// TestRunSteadyStateAllocations is the regression guard for the pooled
+// workspaces: after a warm-up run sizes the workspace for the rank,
+// repeated Executor.Run calls must not touch the heap at all — for any
+// method, sequential or parallel. CP-ALS calls MTTKRP 10–1000s of
+// times per decomposition, so a single allocation here multiplies into
+// allocator pressure and GC noise across every decomposition and every
+// autotuning measurement.
+func TestRunSteadyStateAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; AllocsPerRun is meaningless under -race")
+	}
+	rng := rand.New(rand.NewSource(1))
+	dims := tensor.Dims{32, 48, 24}
+	x := randCOO(rng, dims, 4000)
+	const rank = 48
+	b := randMatrix(rng, dims[1], rank)
+	c := randMatrix(rng, dims[2], rank)
+	out := la.NewMatrix(dims[0], rank)
+	plans := []Plan{
+		{Method: MethodCOO, Workers: 1},
+		{Method: MethodCOO, Workers: 4},
+		{Method: MethodSPLATT, Workers: 1},
+		{Method: MethodSPLATT, Workers: 4},
+		{Method: MethodRankB, RankBlockCols: 16, Workers: 1},
+		{Method: MethodRankB, RankBlockCols: 16, Workers: 4},
+		{Method: MethodRankB, RankBlockCols: 16, NoStripPacking: true, Workers: 1},
+		{Method: MethodRankB, Workers: 1}, // whole rank, no strips
+		{Method: MethodMB, Grid: [3]int{4, 2, 2}, Workers: 1},
+		{Method: MethodMB, Grid: [3]int{4, 2, 2}, Workers: 4},
+		{Method: MethodMBRankB, Grid: [3]int{4, 2, 2}, RankBlockCols: 16, Workers: 1},
+		{Method: MethodMBRankB, Grid: [3]int{4, 2, 2}, RankBlockCols: 16, Workers: 4},
+	}
+	for _, plan := range plans {
+		e, err := NewExecutor(x, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm-up: the first Run at a rank sizes the pooled buffers and
+		// the parallel launches spawn their first goroutines.
+		for i := 0; i < 2; i++ {
+			if err := e.Run(b, c, out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if err := e.Run(b, c, out); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%v: %.2f allocs per steady-state Run, want 0", plan, allocs)
+		}
+	}
+}
+
+// TestRankChangeResizesWorkspace: running the same executor at a new
+// rank must re-size the pooled buffers (one-time allocations), then go
+// allocation-free again — and stay correct at both ranks.
+func TestRankChangeResizesWorkspace(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dims := tensor.Dims{16, 20, 12}
+	x := randCOO(rng, dims, 800)
+	e, err := NewExecutor(x, Plan{Method: MethodRankB, RankBlockCols: 16, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rank := range []int{48, 17, 48} {
+		b := randMatrix(rng, dims[1], rank)
+		c := randMatrix(rng, dims[2], rank)
+		got := la.NewMatrix(dims[0], rank)
+		want := la.NewMatrix(dims[0], rank)
+		if err := Reference(x, b, c, want); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			if err := e.Run(b, c, got); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if d := got.MaxAbsDiff(want); d > 1e-9 {
+			t.Fatalf("rank %d after resize: differs from oracle by %v", rank, d)
+		}
+	}
+}
+
+// TestNegativeWorkersRejected covers the Plan.Workers validation: a
+// negative degree is a caller bug, not a request for GOMAXPROCS.
+func TestNegativeWorkersRejected(t *testing.T) {
+	x := tensor.NewCOO(tensor.Dims{4, 4, 4}, 0)
+	x.Append(1, 1, 1, 1)
+	b := la.NewMatrix(4, 2)
+	c := la.NewMatrix(4, 2)
+	out := la.NewMatrix(4, 2)
+	for _, method := range []Method{MethodCOO, MethodSPLATT, MethodMB, MethodRankB, MethodMBRankB} {
+		plan := Plan{Method: method, Grid: [3]int{1, 1, 1}, Workers: -1}
+		if _, err := NewExecutor(x, plan); err == nil {
+			t.Errorf("%v: NewExecutor accepted Workers=-1", method)
+		}
+		if err := MTTKRP(x, b, c, out, plan); err == nil {
+			t.Errorf("%v: MTTKRP accepted Workers=-1", method)
+		}
+	}
+	// Workers 0 (GOMAXPROCS) and positive degrees stay valid.
+	for _, w := range []int{0, 1, 3} {
+		if _, err := NewExecutor(x, Plan{Method: MethodSPLATT, Workers: w}); err != nil {
+			t.Errorf("Workers=%d rejected: %v", w, err)
+		}
+	}
+}

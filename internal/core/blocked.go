@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"spblock/internal/la"
 	"spblock/internal/tensor"
@@ -169,6 +168,10 @@ func (bt *BlockedTensor) FactorAccessCounts() [3]int {
 // mbLayer runs all blocks of mode-1 layer bi sequentially. bs == 0
 // selects the plain SPLATT per-block kernel; bs > 0 applies rank
 // blocking inside each block (MB+RankB, Figure 3b).
+//
+// Two blocks in different mode-1 layers write disjoint output rows, so
+// layers are the natural race-free parallel unit (the same argument
+// SPLATT uses for slices); Executor.runMB shares layers across workers.
 func mbLayer(bt *BlockedTensor, b, c, out *la.Matrix, bs, bi int, accum []float64) {
 	for bj := 0; bj < bt.Grid[1]; bj++ {
 		for bk := 0; bk < bt.Grid[2]; bk++ {
@@ -183,38 +186,4 @@ func mbLayer(bt *BlockedTensor, b, c, out *la.Matrix, bs, bi int, accum []float6
 			}
 		}
 	}
-}
-
-// mbParallel executes the blocked kernel. Work is shared by mode-1
-// layers: two blocks in different layers write disjoint output rows,
-// so layers are the natural race-free unit (the same argument SPLATT
-// uses for slices).
-func mbParallel(bt *BlockedTensor, b, c, out *la.Matrix, bs, workers int) {
-	if workers > bt.Grid[0] {
-		workers = bt.Grid[0]
-	}
-	if workers <= 1 {
-		accum := make([]float64, out.Cols)
-		for bi := 0; bi < bt.Grid[0]; bi++ {
-			mbLayer(bt, b, c, out, bs, bi, accum)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	layers := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			accum := make([]float64, out.Cols)
-			for bi := range layers {
-				mbLayer(bt, b, c, out, bs, bi, accum)
-			}
-		}()
-	}
-	for bi := 0; bi < bt.Grid[0]; bi++ {
-		layers <- bi
-	}
-	close(layers)
-	wg.Wait()
 }

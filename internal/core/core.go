@@ -78,7 +78,8 @@ type Plan struct {
 	// ranks the unpacked strips conflict-miss pathologically, which is
 	// precisely why the paper prescribes the rearrangement.
 	NoStripPacking bool
-	// Workers is the parallelism degree; 0 means GOMAXPROCS.
+	// Workers is the parallelism degree; 0 means GOMAXPROCS. Negative
+	// values are rejected by NewExecutor.
 	Workers int
 }
 
@@ -125,12 +126,19 @@ func validateOperands(dims tensor.Dims, b, c, out *la.Matrix) error {
 // runs MTTKRP repeatedly against them — matching how CP-ALS calls
 // MTTKRP 10–1000s of times per decomposition, amortising the
 // (cheap, Sec. V-A) data reorganisation.
+//
+// An Executor also owns a pooled workspace (see workspace.go), so
+// repeated Run calls perform no steady-state heap allocations. The
+// workspace makes Run unsafe to call concurrently on one Executor;
+// build one Executor per goroutine instead.
 type Executor struct {
 	plan    Plan
 	dims    tensor.Dims
 	csf     *tensor.CSF    // for SPLATT / RankB
 	blocked *BlockedTensor // for MB / MB+RankB
 	coo     *tensor.COO    // for COO
+
+	ws workspace
 }
 
 // NewExecutor preprocesses t according to plan. The input tensor is
@@ -138,6 +146,9 @@ type Executor struct {
 func NewExecutor(t *tensor.COO, plan Plan) (*Executor, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
+	}
+	if plan.Workers < 0 {
+		return nil, fmt.Errorf("core: negative Workers %d", plan.Workers)
 	}
 	e := &Executor{plan: plan, dims: t.Dims}
 	switch plan.Method {
@@ -163,6 +174,7 @@ func NewExecutor(t *tensor.COO, plan Plan) (*Executor, error) {
 			return nil, fmt.Errorf("core: negative RankBlockCols %d", plan.RankBlockCols)
 		}
 	}
+	e.initRunners()
 	return e, nil
 }
 
@@ -173,43 +185,134 @@ func (e *Executor) Plan() Plan { return e.plan }
 func (e *Executor) Dims() tensor.Dims { return e.dims }
 
 // Run computes out = MTTKRP(X, B, C). out is zeroed first.
+//
+// After the first call at a given rank, Run is allocation-free: every
+// buffer it needs lives in the executor's pooled workspace. Run must
+// not be called concurrently on the same Executor.
 func (e *Executor) Run(b, c, out *la.Matrix) error {
 	if err := validateOperands(e.dims, b, c, out); err != nil {
 		return err
 	}
+	e.ensure(out.Cols)
 	out.Zero()
-	workers := e.plan.workers()
 	switch e.plan.Method {
 	case MethodCOO:
-		cooKernelParallel(e.coo, b, c, out, workers)
+		e.runCOO(b, c, out)
 	case MethodSPLATT:
-		splattParallel(e.csf, b, c, out, workers)
-	case MethodRankB:
+		e.runSPLATT(b, c, out)
+	case MethodRankB, MethodMBRankB:
 		// Strips are driven from outside the kernel so each strip's
 		// factor columns can be packed contiguously (Sec. V-B); the
-		// kernel then register-blocks within the packed strip.
-		e.stripDriver()(b, c, out, e.rankBlock(out.Cols), func(pb, pc, po *la.Matrix) {
-			rankBParallel(e.csf, pb, pc, po, po.Cols, workers)
-		})
+		// kernel then register-blocks within the packed strip. For
+		// MB+RankB the rank dimension is the outermost loop (Figure 3b)
+		// and the spatial blocks run with register blocking inside it.
+		e.runStripped(b, c, out)
 	case MethodMB:
-		mbParallel(e.blocked, b, c, out, 0, workers)
-	case MethodMBRankB:
-		// Figure 3b: the rank dimension is the outermost loop; inside a
-		// strip the spatial blocks run with register blocking.
-		e.stripDriver()(b, c, out, e.rankBlock(out.Cols), func(pb, pc, po *la.Matrix) {
-			mbParallel(e.blocked, pb, pc, po, po.Cols, workers)
-		})
+		e.runMB(b, c, out, 0)
 	}
 	return nil
 }
 
-// stripDriver selects the packed (default) or unpacked (ablation)
-// strip execution.
-func (e *Executor) stripDriver() func(b, c, out *la.Matrix, bs int, run func(pb, pc, po *la.Matrix)) {
-	if e.plan.NoStripPacking {
-		return runStrippedUnpacked
+// runCOO executes the coordinate kernel, privatising the output per
+// worker (COO nonzero ranges do not own disjoint output rows).
+func (e *Executor) runCOO(b, c, out *la.Matrix) {
+	ws := &e.ws
+	if len(ws.runners) == 0 {
+		cooKernel(e.coo, b, c, out)
+		return
 	}
-	return runStripped
+	ws.publish(b, c, out, 0)
+	ws.launch()
+	// Deterministic sequential reduction in worker order.
+	for _, priv := range ws.privates {
+		addInto(out, priv)
+	}
+}
+
+// runSPLATT executes Algorithm 1 with slice-range work sharing.
+func (e *Executor) runSPLATT(b, c, out *la.Matrix) {
+	ws := &e.ws
+	if len(ws.runners) == 0 {
+		splattRange(e.csf, b, c, out, ws.accums[0][:out.Cols], 0, e.csf.NumSlices())
+		return
+	}
+	ws.publish(b, c, out, 0)
+	ws.launch()
+}
+
+// runMB executes the blocked kernel over mode-1 layers; bs > 0 applies
+// rank blocking inside each block (MB+RankB).
+func (e *Executor) runMB(b, c, out *la.Matrix, bs int) {
+	ws := &e.ws
+	if len(ws.runners) == 0 {
+		accum := ws.accums[0][:out.Cols]
+		for bi := 0; bi < e.blocked.Grid[0]; bi++ {
+			mbLayer(e.blocked, b, c, out, bs, bi, accum)
+		}
+		return
+	}
+	ws.publish(b, c, out, bs)
+	ws.nextLayer.Store(0)
+	ws.launch()
+}
+
+// runStripped drives the Sec. V-B strip loop: the rank is processed in
+// strips of RankBlockCols columns. By default each factor's strip is
+// packed into a pooled contiguous buffer before the kernel runs —
+// "the tall and narrow strips of the factor matrix are stacked on top
+// of each other ... to ensure a more sequential access to the memory".
+//
+// Packing matters beyond prefetch friendliness: with the natural
+// stride-R layout, strip rows sit one full row apart, so for power-of-
+// two ranks every strip row maps to the same handful of cache sets and
+// conflict misses erase the blocking benefit entirely. With
+// NoStripPacking (the ablation knob) strips are column views of the
+// original stride-R matrices instead.
+func (e *Executor) runStripped(b, c, out *la.Matrix) {
+	ws := &e.ws
+	r := out.Cols
+	bs := e.rankBlock(r)
+	if bs >= r {
+		e.stripKernel(b, c, out)
+		return
+	}
+	for rr := 0; rr < r; rr += bs {
+		w := bs
+		if rr+w > r {
+			w = r - rr
+		}
+		if e.plan.NoStripPacking {
+			setStrip(&ws.bView, b, rr, w)
+			setStrip(&ws.cView, c, rr, w)
+			setStrip(&ws.oView, out, rr, w)
+			e.stripKernel(&ws.bView, &ws.cView, &ws.oView)
+			continue
+		}
+		setStrip(&ws.bView, ws.bPack, 0, w)
+		setStrip(&ws.cView, ws.cPack, 0, w)
+		setStrip(&ws.oView, ws.oPack, 0, w)
+		packStrip(&ws.bView, b, rr)
+		packStrip(&ws.cView, c, rr)
+		ws.oView.Zero()
+		e.stripKernel(&ws.bView, &ws.cView, &ws.oView)
+		unpackStrip(out, &ws.oView, rr)
+	}
+}
+
+// stripKernel runs one strip's product; the strip operands must fully
+// accumulate into po (whose Cols is the strip width).
+func (e *Executor) stripKernel(pb, pc, po *la.Matrix) {
+	ws := &e.ws
+	if e.plan.Method == MethodMBRankB {
+		e.runMB(pb, pc, po, po.Cols)
+		return
+	}
+	if len(ws.runners) == 0 {
+		rankBRange(e.csf, pb, pc, po, po.Cols, 0, e.csf.NumSlices())
+		return
+	}
+	ws.publish(pb, pc, po, po.Cols)
+	ws.launch()
 }
 
 // rankBlock resolves the effective strip width for rank R.

@@ -132,6 +132,10 @@ func searchMB(base Plan, dims tensor.Dims, cost CostFunc, tol float64, trials *[
 // The heuristic costs O(log₂ Iₙ) trials per mode plus O(R/16) rank
 // trials — "relatively inexpensive compared to the 10–1000s of
 // iterations required for decomposition".
+//
+// Each candidate runs once for warm-up (sizing the executor's pooled
+// workspace) before the timed trials, so the timed runs are
+// allocation-free and the measurements carry no allocator or GC noise.
 func Autotune(t *tensor.COO, rank int, method Method, opts AutotuneOptions) (Plan, []Trial, error) {
 	if err := t.Validate(); err != nil {
 		return Plan{}, nil, err

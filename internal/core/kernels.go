@@ -1,20 +1,25 @@
 package core
 
 import (
-	"sync"
-
 	"spblock/internal/la"
 	"spblock/internal/tensor"
 )
 
-// cooKernel is the coordinate-format MTTKRP of Sec. III-C1: for every
-// nonzero (i,j,k,v), A[i] += v * (B[j] .* C[k]). It performs the
-// Khatri-Rao product "on the fly" per nonzero and is the natural
-// baseline the SPLATT format improves upon (the fiber accumulator
-// saves the per-nonzero multiply against C).
-func cooKernel(t *tensor.COO, b, c, out *la.Matrix) {
+// cooRange is the coordinate-format MTTKRP of Sec. III-C1 over
+// nonzeros [lo, hi): for every nonzero (i,j,k,v),
+// A[i] += v * (B[j] .* C[k]). It performs the Khatri-Rao product "on
+// the fly" per nonzero and is the natural baseline the SPLATT format
+// improves upon (the fiber accumulator saves the per-nonzero multiply
+// against C).
+//
+// Parallel execution privatises out per worker (COO nonzero ranges do
+// not own disjoint output rows, unlike SPLATT's slice sharing); the
+// O(workers · I · R) reduction overhead is one more reason the
+// fiber-ordered SPLATT layout wins (Sec. III-C). The privatisation
+// lives in Executor.runCOO.
+func cooRange(t *tensor.COO, b, c, out *la.Matrix, lo, hi int) {
 	r := out.Cols
-	for p := 0; p < t.NNZ(); p++ {
+	for p := lo; p < hi; p++ {
 		v := t.Val[p]
 		brow := b.Row(int(t.J[p]))
 		crow := c.Row(int(t.K[p]))
@@ -25,60 +30,18 @@ func cooKernel(t *tensor.COO, b, c, out *la.Matrix) {
 	}
 }
 
-// cooKernelParallel parallelises the COO kernel over nonzero ranges.
-// Unlike SPLATT's slice sharing, COO ranges do not own disjoint output
-// rows, so each worker accumulates into a private output copy and the
-// copies are reduced afterwards — the standard privatisation scheme,
-// whose O(workers · I · R) reduction overhead is one more reason the
-// fiber-ordered SPLATT layout wins (Sec. III-C).
-func cooKernelParallel(t *tensor.COO, b, c, out *la.Matrix, workers int) {
-	n := t.NNZ()
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		cooKernel(t, b, c, out)
-		return
-	}
-	privates := make([]*la.Matrix, workers)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			priv := la.NewMatrix(out.Rows, out.Cols)
-			privates[w] = priv
-			r := out.Cols
-			for p := lo; p < hi; p++ {
-				v := t.Val[p]
-				brow := b.Row(int(t.J[p]))
-				crow := c.Row(int(t.K[p]))
-				orow := priv.Row(int(t.I[p]))
-				for q := 0; q < r; q++ {
-					orow[q] += v * brow[q] * crow[q]
-				}
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, priv := range privates {
-		if priv == nil {
-			continue
-		}
-		for i := 0; i < out.Rows; i++ {
-			dst, src := out.Row(i), priv.Row(i)
-			for q := range dst {
-				dst[q] += src[q]
-			}
+// cooKernel runs the coordinate kernel over the whole tensor.
+func cooKernel(t *tensor.COO, b, c, out *la.Matrix) {
+	cooRange(t, b, c, out, 0, t.NNZ())
+}
+
+// addInto accumulates src into dst element-wise (the privatisation
+// reduction). Shapes must match.
+func addInto(dst, src *la.Matrix) {
+	for i := 0; i < dst.Rows; i++ {
+		d, s := dst.Row(i), src.Row(i)
+		for q := range d {
+			d[q] += s[q]
 		}
 	}
 }
@@ -109,12 +72,6 @@ func splattRange(t *tensor.CSF, b, c, out *la.Matrix, accum []float64, lo, hi in
 			}
 		}
 	}
-}
-
-// splattSequential runs Algorithm 1 over the whole tensor.
-func splattSequential(t *tensor.CSF, b, c, out *la.Matrix) {
-	accum := make([]float64, out.Cols)
-	splattRange(t, b, c, out, accum, 0, t.NumSlices())
 }
 
 // sliceShares partitions slices [0, n) into at most workers contiguous
@@ -159,25 +116,6 @@ func sliceShares(t *tensor.CSF, workers int) [][2]int {
 		lo = hi
 	}
 	return shares
-}
-
-// splattParallel runs Algorithm 1 with slice-range work sharing.
-func splattParallel(t *tensor.CSF, b, c, out *la.Matrix, workers int) {
-	shares := sliceShares(t, workers)
-	if len(shares) <= 1 {
-		splattSequential(t, b, c, out)
-		return
-	}
-	var wg sync.WaitGroup
-	for _, sh := range shares {
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			accum := make([]float64, out.Cols)
-			splattRange(t, b, c, out, accum, lo, hi)
-		}(sh[0], sh[1])
-	}
-	wg.Wait()
 }
 
 // rankBRange is Algorithm 2 over slices [lo, hi): the rank is swept in
@@ -281,22 +219,4 @@ func fiberTail(t *tensor.CSF, b, c, out *la.Matrix, pLo, pHi, i, k, r0, r1 int) 
 	for q := 0; q < w; q++ {
 		orow[q] += acc[q] * crow[q]
 	}
-}
-
-// rankBParallel runs Algorithm 2 with slice-range work sharing.
-func rankBParallel(t *tensor.CSF, b, c, out *la.Matrix, bs, workers int) {
-	shares := sliceShares(t, workers)
-	if len(shares) <= 1 {
-		rankBRange(t, b, c, out, bs, 0, t.NumSlices())
-		return
-	}
-	var wg sync.WaitGroup
-	for _, sh := range shares {
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			rankBRange(t, b, c, out, bs, lo, hi)
-		}(sh[0], sh[1])
-	}
-	wg.Wait()
 }

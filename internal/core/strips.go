@@ -4,73 +4,16 @@ import (
 	"spblock/internal/la"
 )
 
-// runStripped drives rank blocking the way Sec. V-B prescribes: the
-// rank is processed in strips of RankBlockCols columns, and each
-// factor's strip is packed into a contiguous (rows × strip) buffer
-// before the kernel runs — "the tall and narrow strips of the factor
-// matrix are stacked on top of each other ... to ensure a more
-// sequential access to the memory".
-//
-// Packing matters beyond prefetch friendliness: with the natural
-// stride-R layout, strip rows sit one full row apart, so for power-of-
-// two ranks every strip row maps to the same handful of cache sets and
-// conflict misses erase the blocking benefit entirely. The packed
-// buffers are reused across strips.
-//
-// run executes the kernel against one strip's packed operands (whose
-// Cols is the strip width); it must fully accumulate into the packed
-// output, which is then copied back into out's column strip.
-func runStripped(b, c, out *la.Matrix, bs int, run func(pb, pc, po *la.Matrix)) {
-	r := out.Cols
-	if bs <= 0 || bs >= r {
-		run(b, c, out)
-		return
-	}
-	bPack := la.NewMatrix(b.Rows, bs)
-	cPack := la.NewMatrix(c.Rows, bs)
-	oPack := la.NewMatrix(out.Rows, bs)
-	for rr := 0; rr < r; rr += bs {
-		w := bs
-		if rr+w > r {
-			w = r - rr
-		}
-		pb := stripView(bPack, w)
-		pc := stripView(cPack, w)
-		po := stripView(oPack, w)
-		packStrip(pb, b, rr)
-		packStrip(pc, c, rr)
-		po.Zero()
-		run(pb, pc, po)
-		unpackStrip(out, po, rr)
-	}
-}
-
-// runStrippedUnpacked is the ablation variant of runStripped: strips
-// are column views of the original stride-R matrices, no packing. The
-// kernel sees rows w columns wide but R columns apart, so with
-// power-of-two ranks the strip rows collide on a handful of cache sets
-// — measurably worse in the cache simulator and on real hardware,
-// which is the evidence behind the paper's rearrangement advice.
-func runStrippedUnpacked(b, c, out *la.Matrix, bs int, run func(pb, pc, po *la.Matrix)) {
-	r := out.Cols
-	if bs <= 0 || bs >= r {
-		run(b, c, out)
-		return
-	}
-	for rr := 0; rr < r; rr += bs {
-		w := bs
-		if rr+w > r {
-			w = r - rr
-		}
-		run(b.ColumnView(rr, rr+w), c.ColumnView(rr, rr+w), out.ColumnView(rr, rr+w))
-	}
-}
-
-// stripView narrows a packed buffer to the first w columns, keeping
-// its allocation stride so the buffer is reusable for the final,
-// possibly narrower, strip.
-func stripView(m *la.Matrix, w int) *la.Matrix {
-	return &la.Matrix{Rows: m.Rows, Cols: w, Stride: m.Stride, Data: m.Data}
+// setStrip points view at columns [rr, rr+w) of src, sharing src's
+// storage and stride. The view header is a pooled value so narrowing
+// to a strip allocates nothing; for the packed buffers (rr == 0) the
+// kept stride makes the buffer reusable for the final, possibly
+// narrower, strip.
+func setStrip(view, src *la.Matrix, rr, w int) {
+	view.Rows = src.Rows
+	view.Cols = w
+	view.Stride = src.Stride
+	view.Data = src.Data[rr:]
 }
 
 // packStrip copies src columns [rr, rr+dst.Cols) into dst.

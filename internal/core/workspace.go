@@ -1,0 +1,207 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"spblock/internal/la"
+)
+
+// workspace owns every buffer an Executor's kernels touch besides the
+// caller's operands, so repeated Run calls perform no steady-state heap
+// allocations. CP-ALS invokes MTTKRP 10-1000s of times per
+// decomposition (Sec. I); allocating the packed rank strips, per-worker
+// fiber accumulators and COO privatised outputs on every call both
+// thrashes the allocator and adds GC noise to every measurement the
+// autotuner takes.
+//
+// The worker-count-dependent state (slice shares, nonzero ranges, the
+// worker closures themselves) is built once in NewExecutor; the
+// rank-dependent buffers are sized lazily on the first Run and rebuilt
+// only when the rank changes. Because the workspace is mutated by Run,
+// one Executor must not Run concurrently with itself — use one Executor
+// per goroutine (they can share the same tensor structures via separate
+// NewExecutor calls, or separate modes of a MultiModeExecutor).
+type workspace struct {
+	// rank the rank-dependent buffers are currently sized for (0 =
+	// never sized).
+	rank int
+
+	// runners are the pre-built worker bodies, one per parallel worker.
+	// Empty when the plan resolves to sequential execution (a `go`
+	// statement on a fresh closure allocates; pre-building the closures
+	// keeps the parallel launch allocation-free too).
+	runners []func()
+	wg      sync.WaitGroup
+
+	// Operand state of the in-flight Run (or strip of a Run), published
+	// before the workers launch and joined before it changes.
+	b, c, out *la.Matrix
+	// bs is the rank-block width handed to the blocked kernels for the
+	// current strip (0 selects the plain SPLATT per-block kernel).
+	bs int
+	// nextLayer is the MB work queue: workers claim mode-1 layers by
+	// atomic increment (replacing a per-Run channel).
+	nextLayer atomic.Int64
+
+	// shares are the CSF slice ranges of each worker (SPLATT / RankB);
+	// ranges are the nonzero ranges of each worker (COO). Both depend
+	// only on the preprocessed structure and the worker count, so they
+	// are computed once.
+	shares [][2]int
+	ranges [][2]int
+
+	// accums holds one fiber-accumulator array per worker (SPLATT and
+	// the per-block kernel of MB), each sized to the current rank.
+	accums [][]float64
+	// privates holds one privatised output copy per COO worker.
+	privates []*la.Matrix
+
+	// Packed rank-strip buffers (Sec. V-B "stacked strips") and the
+	// reusable view headers handed to kernels for both the packed and
+	// the unpacked (ablation) strip drivers.
+	bPack, cPack, oPack *la.Matrix
+	bView, cView, oView la.Matrix
+}
+
+// ensure sizes the rank-dependent buffers for rank r. No-op when the
+// rank is unchanged, which is the steady state of a decomposition.
+func (e *Executor) ensure(r int) {
+	ws := &e.ws
+	if ws.rank == r {
+		return
+	}
+	ws.rank = r
+	nw := len(ws.runners)
+	switch e.plan.Method {
+	case MethodCOO:
+		ws.privates = ws.privates[:0]
+		for w := 0; w < nw; w++ {
+			ws.privates = append(ws.privates, la.NewMatrix(e.dims[0], r))
+		}
+	case MethodSPLATT, MethodMB, MethodMBRankB:
+		ws.accums = ws.accums[:0]
+		for w := 0; w < max(nw, 1); w++ {
+			ws.accums = append(ws.accums, make([]float64, r))
+		}
+	}
+	if e.plan.Method == MethodRankB || e.plan.Method == MethodMBRankB {
+		if bs := e.rankBlock(r); bs < r && !e.plan.NoStripPacking {
+			ws.bPack = la.NewMatrix(e.dims[1], bs)
+			ws.cPack = la.NewMatrix(e.dims[2], bs)
+			ws.oPack = la.NewMatrix(e.dims[0], bs)
+		}
+	}
+}
+
+// publish records the operands the pre-built worker closures read.
+func (ws *workspace) publish(b, c, out *la.Matrix, bs int) {
+	ws.b, ws.c, ws.out, ws.bs = b, c, out, bs
+}
+
+// launch runs every worker body and waits for them. The closures were
+// built in NewExecutor and goroutine descriptors are recycled by the
+// runtime, so a steady-state launch does not allocate.
+func (ws *workspace) launch() {
+	ws.wg.Add(len(ws.runners))
+	for _, fn := range ws.runners {
+		go fn()
+	}
+	ws.wg.Wait()
+}
+
+// initRunners builds the worker closures for the executor's method.
+// Called once from NewExecutor, after the tensor structures exist.
+// Runners are only built when the plan resolves to >1 effective
+// workers; otherwise Run takes the inline sequential paths.
+func (e *Executor) initRunners() {
+	ws := &e.ws
+	workers := e.plan.workers()
+	switch e.plan.Method {
+	case MethodCOO:
+		ws.ranges = nnzRanges(e.coo.NNZ(), workers)
+		for w := range ws.ranges {
+			w := w
+			ws.runners = append(ws.runners, func() {
+				defer ws.wg.Done()
+				priv := ws.privates[w]
+				priv.Zero()
+				cooRange(e.coo, ws.b, ws.c, priv, ws.ranges[w][0], ws.ranges[w][1])
+			})
+		}
+	case MethodSPLATT:
+		ws.shares = sliceShares(e.csf, workers)
+		if len(ws.shares) <= 1 {
+			ws.shares = nil
+			return
+		}
+		for w := range ws.shares {
+			w := w
+			ws.runners = append(ws.runners, func() {
+				defer ws.wg.Done()
+				sh := ws.shares[w]
+				splattRange(e.csf, ws.b, ws.c, ws.out, ws.accums[w][:ws.out.Cols], sh[0], sh[1])
+			})
+		}
+	case MethodRankB:
+		ws.shares = sliceShares(e.csf, workers)
+		if len(ws.shares) <= 1 {
+			ws.shares = nil
+			return
+		}
+		for w := range ws.shares {
+			w := w
+			ws.runners = append(ws.runners, func() {
+				defer ws.wg.Done()
+				sh := ws.shares[w]
+				rankBRange(e.csf, ws.b, ws.c, ws.out, ws.bs, sh[0], sh[1])
+			})
+		}
+	case MethodMB, MethodMBRankB:
+		if workers > e.blocked.Grid[0] {
+			workers = e.blocked.Grid[0]
+		}
+		if workers <= 1 {
+			return
+		}
+		for w := 0; w < workers; w++ {
+			w := w
+			ws.runners = append(ws.runners, func() {
+				defer ws.wg.Done()
+				grid0 := int64(e.blocked.Grid[0])
+				for {
+					bi := ws.nextLayer.Add(1) - 1
+					if bi >= grid0 {
+						return
+					}
+					mbLayer(e.blocked, ws.b, ws.c, ws.out, ws.bs, int(bi), ws.accums[w][:ws.out.Cols])
+				}
+			})
+		}
+	}
+}
+
+// nnzRanges splits n nonzeros into at most `workers` contiguous ranges
+// (the COO privatisation shares). Returns nil when one worker suffices.
+func nnzRanges(n, workers int) [][2]int {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return nil
+	}
+	chunk := (n + workers - 1) / workers
+	rs := make([][2]int, 0, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		rs = append(rs, [2]int{lo, hi})
+	}
+	return rs
+}

@@ -13,9 +13,13 @@
 // where M is the current model and Π the Khatri-Rao product of the
 // other factors. Its sparse form only evaluates the model at the
 // nonzeros — per nonzero (i,j,k): m = Σ_r a_ir·b_jr·c_kr, then
-// Φ[i,r] += (x/m)·b_jr·c_kr — the same access pattern as MTTKRP with
-// one extra inner product, so everything the paper says about MTTKRP's
-// memory behaviour applies here too.
+// Φ[i,r] += (x/m)·b_jr·c_kr. That numerator IS an MTTKRP over the
+// "ratio tensor" whose values are x/m at X's coordinates, so the
+// update is executed through the shared engine layer: one
+// MultiModeExecutor over a ratio tensor that aliases X's coordinates,
+// with the ratio values rewritten in place before each mode's product.
+// Everything the paper says about MTTKRP's memory behaviour applies
+// here too.
 package cpapr
 
 import (
@@ -23,6 +27,8 @@ import (
 	"math"
 	"math/rand"
 
+	"spblock/internal/core"
+	"spblock/internal/engine"
 	"spblock/internal/la"
 	"spblock/internal/tensor"
 )
@@ -39,6 +45,11 @@ type Options struct {
 	// MinValue clamps factor entries away from zero so multiplicative
 	// updates cannot get permanently stuck. Default 1e-12.
 	MinValue float64
+	// Workers is the parallelism degree of the Φ numerator products.
+	// Values <= 1 (including the default 0) run sequentially, which
+	// keeps the update bit-for-bit deterministic; higher values use the
+	// engine's privatised parallel COO kernel.
+	Workers int
 	// Seed drives the random positive initialisation.
 	Seed int64
 }
@@ -101,10 +112,28 @@ func Decompose(t *tensor.COO, opts Options) (*Result, error) {
 		phi[n] = la.NewMatrix(t.Dims[n], r)
 	}
 
+	// The ratio tensor aliases t's coordinates and owns only a value
+	// array; its engine serves all three Φ numerators as mode products.
+	// Because the engine's permuted views share the ratio tensor's
+	// value storage (MethodCOO executors alias their input), rewriting
+	// rt.Val before a Run feeds every mode's executor — one value pass
+	// per update, zero coordinate copies.
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	rt := &tensor.COO{Dims: t.Dims, I: t.I, J: t.J, K: t.K, Val: make([]float64, t.NNZ())}
+	eng, err := engine.NewMultiModeExecutor(rt, core.Plan{Method: core.MethodCOO, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+
 	prev := math.Inf(1)
 	for iter := 0; iter < opts.MaxIters; iter++ {
 		for n := 0; n < 3; n++ {
-			updateMode(t, res.Factors, phi[n], n, opts.MinValue)
+			if err := updateMode(t, rt, eng, res.Factors, phi[n], n, opts.MinValue); err != nil {
+				return nil, err
+			}
 		}
 		kl := Objective(t, res.Factors)
 		res.KL = append(res.KL, kl)
@@ -124,12 +153,14 @@ func Decompose(t *tensor.COO, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// updateMode applies one multiplicative update to factors[mode].
-func updateMode(t *tensor.COO, factors [3]*la.Matrix, phi *la.Matrix, mode int, minVal float64) {
+// updateMode applies one multiplicative update to factors[mode]: it
+// refreshes the ratio tensor's values X ⊘ M at the current model, runs
+// the numerator Φ = (X ⊘ M)₍mode₎ · Π as mode `mode`'s MTTKRP through
+// the engine, then scales the factor by Φ over the column-sum
+// denominator.
+func updateMode(t, rt *tensor.COO, eng *engine.MultiModeExecutor, factors [3]*la.Matrix, phi *la.Matrix, mode int, minVal float64) error {
 	r := phi.Cols
-	phi.Zero()
 	a, b, c := factors[0], factors[1], factors[2]
-	// Numerator: Φ = (X ⊘ M)₍mode₎ · Π, sparsely.
 	for p := 0; p < t.NNZ(); p++ {
 		arow := a.Row(int(t.I[p]))
 		brow := b.Row(int(t.J[p]))
@@ -141,22 +172,11 @@ func updateMode(t *tensor.COO, factors [3]*la.Matrix, phi *la.Matrix, mode int, 
 		if m < minVal {
 			m = minVal
 		}
-		ratio := t.Val[p] / m
-		if ratio == 0 {
-			continue
-		}
-		var dst, o1, o2 []float64
-		switch mode {
-		case 0:
-			dst, o1, o2 = phi.Row(int(t.I[p])), brow, crow
-		case 1:
-			dst, o1, o2 = phi.Row(int(t.J[p])), arow, crow
-		default:
-			dst, o1, o2 = phi.Row(int(t.K[p])), arow, brow
-		}
-		for q := 0; q < r; q++ {
-			dst[q] += ratio * o1[q] * o2[q]
-		}
+		rt.Val[p] = t.Val[p] / m
+	}
+	// eng.Run zeroes phi before accumulating.
+	if err := eng.Run(mode, factors, phi); err != nil {
+		return err
 	}
 	// Denominator: column sums of Π = product of the other factors'
 	// column sums.
@@ -187,6 +207,7 @@ func updateMode(t *tensor.COO, factors [3]*la.Matrix, phi *la.Matrix, mode int, 
 			}
 		}
 	}
+	return nil
 }
 
 func columnSums(m *la.Matrix) []float64 {

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"spblock/internal/core"
+	"spblock/internal/engine"
 	"spblock/internal/la"
 	"spblock/internal/memo"
 	"spblock/internal/tensor"
@@ -77,19 +78,6 @@ func (r *Result) Fit() float64 {
 	return r.Fits[len(r.Fits)-1]
 }
 
-// modePerms[n] permutes the tensor so mode n leads; the companion
-// factor order gives which factors act as the "B" and "C" operand of
-// the mode-1 kernel after permutation.
-var modePerms = [3]struct {
-	perm    [3]int
-	bFactor int
-	cFactor int
-}{
-	{perm: [3]int{0, 1, 2}, bFactor: 1, cFactor: 2},
-	{perm: [3]int{1, 0, 2}, bFactor: 0, cFactor: 2},
-	{perm: [3]int{2, 0, 1}, bFactor: 0, cFactor: 1},
-}
-
 // CPALS decomposes t with alternating least squares.
 func CPALS(t *tensor.COO, opts Options) (*Result, error) {
 	opts, err := opts.withDefaults()
@@ -110,34 +98,17 @@ func CPALS(t *tensor.COO, opts Options) (*Result, error) {
 		}
 	}
 
-	// Build one executor per mode. The plan's grid is permuted along
-	// with the tensor modes so the same spatial blocks apply.
-	var execs [3]*core.Executor
-	for n := 0; n < 3; n++ {
-		if memoEng != nil && n < 2 {
-			continue // modes 1-2 fold from the memo buffer
-		}
-		perm := modePerms[n].perm
-		pt, err := t.PermuteModes(perm)
-		if err != nil {
-			return nil, err
-		}
-		plan := opts.Plan
-		plan.Grid = [3]int{opts.Plan.Grid[perm[0]], opts.Plan.Grid[perm[1]], opts.Plan.Grid[perm[2]]}
-		// Clamp the permuted grid to the permuted mode lengths.
-		for m := 0; m < 3; m++ {
-			if plan.Grid[m] > pt.Dims[m] {
-				plan.Grid[m] = pt.Dims[m]
-			}
-			if plan.Grid[m] < 1 {
-				plan.Grid[m] = 1
-			}
-		}
-		e, err := core.NewExecutor(pt, plan)
-		if err != nil {
-			return nil, err
-		}
-		execs[n] = e
+	// Build the engine once per decomposition: each mode's permuted
+	// executor is constructed a single time and its pooled workspace is
+	// reused by every sweep. The memoized path folds modes 1-2 from the
+	// memo buffer, so it only needs the mode-3 executor.
+	modes := []int{0, 1, 2}
+	if memoEng != nil {
+		modes = []int{2}
+	}
+	eng, err := engine.NewMultiModeExecutor(t, opts.Plan, modes...)
+	if err != nil {
+		return nil, err
 	}
 
 	rng := rand.New(rand.NewSource(opts.Seed))
@@ -170,7 +141,7 @@ func CPALS(t *tensor.COO, opts Options) (*Result, error) {
 			}
 		}
 		for n := 0; n < 3; n++ {
-			mp := modePerms[n]
+			mp := engine.Modes[n]
 			out := mttkrpOut[n]
 			switch {
 			case memoEng != nil && n == 0:
@@ -182,12 +153,12 @@ func CPALS(t *tensor.COO, opts Options) (*Result, error) {
 					return res, err
 				}
 			default:
-				if err := execs[n].Run(res.Factors[mp.bFactor], res.Factors[mp.cFactor], out); err != nil {
+				if err := eng.Run(n, res.Factors, out); err != nil {
 					return res, err
 				}
 			}
 			// V = hadamard of the other modes' Gram matrices.
-			v := la.Hadamard(grams[mp.bFactor], grams[mp.cFactor])
+			v := la.Hadamard(grams[mp.BFactor], grams[mp.CFactor])
 			res.Factors[n].CopyFrom(out)
 			if err := la.SolveSPD(v, res.Factors[n]); err != nil {
 				return res, fmt.Errorf("cpd: mode-%d solve: %w", n+1, err)

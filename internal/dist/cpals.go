@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"spblock/internal/engine"
 	"spblock/internal/la"
 	"spblock/internal/tensor"
 )
@@ -47,18 +48,6 @@ func (r *CPResult) Fit() float64 {
 	return r.Fits[len(r.Fits)-1]
 }
 
-// modePerms mirrors the shared-memory CP-ALS: each mode's product is a
-// mode-1 product on a mode-permuted tensor.
-var modePerms = [3]struct {
-	perm    [3]int
-	bFactor int
-	cFactor int
-}{
-	{perm: [3]int{0, 1, 2}, bFactor: 1, cFactor: 2},
-	{perm: [3]int{1, 0, 2}, bFactor: 0, cFactor: 2},
-	{perm: [3]int{2, 0, 1}, bFactor: 0, cFactor: 1},
-}
-
 // CPALS runs the full CP-ALS decomposition with every MTTKRP executed
 // on the distributed runtime (one engine per mode, partitioned once).
 // The R×R normal-equation solves and column normalisations run
@@ -80,9 +69,12 @@ func CPALS(t *tensor.COO, cfg Config, opts CPOptions) (*CPResult, error) {
 	}
 	r := opts.Rank
 
+	// One engine per mode, partitioned once per decomposition. The
+	// permuted inputs are zero-copy views (engine.PermuteView); the
+	// partitioner and block builder only read them.
 	var engines [3]*Engine
 	for n := 0; n < 3; n++ {
-		pt, err := t.PermuteModes(modePerms[n].perm)
+		pt, err := engine.PermuteView(t, engine.Modes[n].Perm)
 		if err != nil {
 			return nil, err
 		}
@@ -111,8 +103,8 @@ func CPALS(t *tensor.COO, cfg Config, opts CPOptions) (*CPResult, error) {
 	prevFit := 0.0
 	for iter := 0; iter < opts.MaxIters; iter++ {
 		for n := 0; n < 3; n++ {
-			mp := modePerms[n]
-			dr, err := engines[n].Run(res.Factors[mp.bFactor], res.Factors[mp.cFactor])
+			mp := engine.Modes[n]
+			dr, err := engines[n].Run(res.Factors[mp.BFactor], res.Factors[mp.CFactor])
 			if err != nil {
 				return res, err
 			}
@@ -121,7 +113,7 @@ func CPALS(t *tensor.COO, cfg Config, opts CPOptions) (*CPResult, error) {
 			if n == 2 {
 				lastMTTKRP = dr.Out
 			}
-			v := la.Hadamard(grams[mp.bFactor], grams[mp.cFactor])
+			v := la.Hadamard(grams[mp.BFactor], grams[mp.CFactor])
 			res.Factors[n].CopyFrom(dr.Out)
 			if err := la.SolveSPD(v, res.Factors[n]); err != nil {
 				return res, fmt.Errorf("dist: mode-%d solve: %w", n+1, err)

@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"spblock/internal/core"
+	"spblock/internal/la"
+	"spblock/internal/tensor"
+)
+
+func randMatrix(rng *rand.Rand, rows, cols int) *la.Matrix {
+	m := la.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randCOO(rng *rand.Rand, dims tensor.Dims, nnz int) *tensor.COO {
+	t := tensor.NewCOO(dims, nnz)
+	for p := 0; p < nnz; p++ {
+		t.Append(
+			tensor.Index(rng.Intn(dims[0])),
+			tensor.Index(rng.Intn(dims[1])),
+			tensor.Index(rng.Intn(dims[2])),
+			rng.NormFloat64(),
+		)
+	}
+	t.Dedup()
+	return t
+}
+
+// enginePlans enumerates every kernel family through the engine; the
+// grid is deliberately asymmetric so PermutePlan's permutation and
+// clamping are exercised by the mode-2/mode-3 products.
+func enginePlans() []core.Plan {
+	return []core.Plan{
+		{Method: core.MethodCOO},
+		{Method: core.MethodSPLATT, Workers: 1},
+		{Method: core.MethodSPLATT, Workers: 4},
+		{Method: core.MethodRankB, RankBlockCols: 16, Workers: 1},
+		{Method: core.MethodRankB, RankBlockCols: 16, NoStripPacking: true, Workers: 1},
+		{Method: core.MethodMB, Grid: [3]int{4, 2, 1}, Workers: 2},
+		{Method: core.MethodMBRankB, Grid: [3]int{2, 3, 2}, RankBlockCols: 16, Workers: 2},
+	}
+}
+
+// TestCrossModeEquivalenceMatrix checks every Method × every mode: the
+// engine's mode-n product must agree with the dense reference oracle
+// run on an explicitly permuted copy of the tensor.
+func TestCrossModeEquivalenceMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dims := tensor.Dims{13, 11, 9}
+	x := randCOO(rng, dims, 300)
+	const rank = 33 // off the register-block width to hit tail paths
+	factors := [3]*la.Matrix{
+		randMatrix(rng, dims[0], rank),
+		randMatrix(rng, dims[1], rank),
+		randMatrix(rng, dims[2], rank),
+	}
+	var want [3]*la.Matrix
+	for n := 0; n < 3; n++ {
+		pt, err := x.PermuteModes(Modes[n].Perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[n] = la.NewMatrix(dims[n], rank)
+		if err := core.Reference(pt, factors[Modes[n].BFactor], factors[Modes[n].CFactor], want[n]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, plan := range enginePlans() {
+		eng, err := NewMultiModeExecutor(x, plan)
+		if err != nil {
+			t.Fatalf("%v: %v", plan, err)
+		}
+		for n := 0; n < 3; n++ {
+			got := la.NewMatrix(dims[n], rank)
+			// Run twice: the second call exercises workspace reuse.
+			for rep := 0; rep < 2; rep++ {
+				if err := eng.Run(n, factors, got); err != nil {
+					t.Fatalf("%v mode %d: %v", plan, n, err)
+				}
+			}
+			if d := got.MaxAbsDiff(want[n]); d > 1e-9 {
+				t.Fatalf("%v mode %d: differs from oracle by %v", plan, n, d)
+			}
+		}
+	}
+}
+
+func TestPermuteViewIsZeroCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randCOO(rng, tensor.Dims{5, 6, 7}, 40)
+	v, err := PermuteView(x, [3]int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Dims != (tensor.Dims{7, 5, 6}) {
+		t.Fatalf("permuted dims = %v", v.Dims)
+	}
+	if &v.I[0] != &x.K[0] || &v.J[0] != &x.I[0] || &v.K[0] != &x.J[0] {
+		t.Fatal("coordinate slices were copied, not aliased")
+	}
+	if &v.Val[0] != &x.Val[0] {
+		t.Fatal("values were copied, not aliased")
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Aliased values: a write through the original is visible in the view.
+	x.Val[0] = 42
+	if v.Val[0] != 42 {
+		t.Fatal("value mutation not visible through the view")
+	}
+}
+
+func TestPermuteViewRejectsBadPerm(t *testing.T) {
+	x := tensor.NewCOO(tensor.Dims{2, 2, 2}, 0)
+	for _, perm := range [][3]int{{0, 0, 1}, {0, 1, 3}, {-1, 1, 2}} {
+		if _, err := PermuteView(x, perm); err == nil {
+			t.Fatalf("perm %v: expected error", perm)
+		}
+	}
+}
+
+func TestPermutePlan(t *testing.T) {
+	dims := tensor.Dims{10, 4, 2}
+	plan := core.Plan{Method: core.MethodMB, Grid: [3]int{8, 3, 2}}
+	// Mode 2 leads with old mode 3: grid becomes {2,8,3} clamped to
+	// permuted dims {2,10,4} → {2,8,3}.
+	p := PermutePlan(plan, 2, dims)
+	if p.Grid != ([3]int{2, 8, 3}) {
+		t.Fatalf("mode-3 grid = %v", p.Grid)
+	}
+	// Clamping: a grid larger than the permuted mode lengths shrinks.
+	plan.Grid = [3]int{10, 10, 10}
+	p = PermutePlan(plan, 1, dims) // permuted dims {4,10,2}
+	if p.Grid != ([3]int{4, 10, 2}) {
+		t.Fatalf("clamped grid = %v", p.Grid)
+	}
+	// Zero grid defaults to {1,1,1}.
+	plan.Grid = [3]int{}
+	p = PermutePlan(plan, 0, dims)
+	if p.Grid != ([3]int{1, 1, 1}) {
+		t.Fatalf("defaulted grid = %v", p.Grid)
+	}
+}
+
+func TestModeSubsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := randCOO(rng, tensor.Dims{6, 5, 4}, 50)
+	eng, err := NewMultiModeExecutor(x, core.Plan{Method: core.MethodSPLATT}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factors := [3]*la.Matrix{
+		randMatrix(rng, 6, 8), randMatrix(rng, 5, 8), randMatrix(rng, 4, 8),
+	}
+	out := la.NewMatrix(4, 8)
+	if err := eng.Run(2, factors, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(0, factors, la.NewMatrix(6, 8)); err == nil {
+		t.Fatal("expected error running a mode that was not requested")
+	}
+	if _, err := eng.Executor(1); err == nil {
+		t.Fatal("expected error fetching an unbuilt mode's executor")
+	}
+	if _, err := eng.Executor(5); err == nil {
+		t.Fatal("expected error for out-of-range mode")
+	}
+}
+
+func TestNewMultiModeExecutorErrors(t *testing.T) {
+	x := tensor.NewCOO(tensor.Dims{2, 2, 2}, 0)
+	if _, err := NewMultiModeExecutor(x, core.Plan{}, 3); err == nil {
+		t.Fatal("expected error for mode 3")
+	}
+	if _, err := NewMultiModeExecutor(x, core.Plan{Workers: -1}); err == nil {
+		t.Fatal("expected error for negative workers")
+	}
+	bad := &tensor.COO{Dims: tensor.Dims{0, 1, 1}}
+	if _, err := NewMultiModeExecutor(bad, core.Plan{}); err == nil {
+		t.Fatal("expected error for invalid tensor")
+	}
+}
+
+// TestSharedValueStorage is the contract cpapr depends on: with
+// MethodCOO, rewriting the input tensor's values between Runs is
+// visible to every mode's executor, because the permuted views alias
+// the value array.
+func TestSharedValueStorage(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	dims := tensor.Dims{5, 4, 3}
+	x := randCOO(rng, dims, 30)
+	eng, err := NewMultiModeExecutor(x, core.Plan{Method: core.MethodCOO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rank = 4
+	factors := [3]*la.Matrix{
+		randMatrix(rng, dims[0], rank),
+		randMatrix(rng, dims[1], rank),
+		randMatrix(rng, dims[2], rank),
+	}
+	for p := range x.Val {
+		x.Val[p] = float64(p + 1)
+	}
+	for n := 0; n < 3; n++ {
+		pt, err := x.PermuteModes(Modes[n].Perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := la.NewMatrix(dims[n], rank)
+		if err := core.Reference(pt, factors[Modes[n].BFactor], factors[Modes[n].CFactor], want); err != nil {
+			t.Fatal(err)
+		}
+		got := la.NewMatrix(dims[n], rank)
+		if err := eng.Run(n, factors, got); err != nil {
+			t.Fatal(err)
+		}
+		if d := got.MaxAbsDiff(want); d > 1e-9 {
+			t.Fatalf("mode %d after value rewrite: differs by %v", n, d)
+		}
+	}
+}

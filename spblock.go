@@ -29,6 +29,7 @@ import (
 	"spblock/internal/cpapr"
 	"spblock/internal/cpd"
 	"spblock/internal/dist"
+	"spblock/internal/engine"
 	"spblock/internal/gen"
 	"spblock/internal/la"
 	"spblock/internal/mpi"
@@ -55,6 +56,9 @@ type (
 	Method = core.Method
 	// Executor owns preprocessed structures and runs MTTKRP repeatedly.
 	Executor = core.Executor
+	// MultiExecutor serves MTTKRP for several modes of one tensor,
+	// building each mode's permuted executor exactly once.
+	MultiExecutor = engine.MultiModeExecutor
 	// BlockedTensor is the multi-dimensionally blocked representation.
 	BlockedTensor = core.BlockedTensor
 	// AutotuneOptions configures the Sec. V-C block-size heuristic.
@@ -142,7 +146,22 @@ func BuildCSF(t *Tensor) (*CSF, error) { return tensor.BuildCSF(t) }
 func ComputeStats(t *Tensor) Stats { return tensor.ComputeStats(t) }
 
 // NewExecutor preprocesses t for the plan; Run it once per MTTKRP.
+// Repeated Run calls reuse the executor's pooled workspace and are
+// allocation-free in steady state.
 func NewExecutor(t *Tensor, plan Plan) (*Executor, error) { return core.NewExecutor(t, plan) }
+
+// NewMultiExecutor preprocesses t once per requested mode (default:
+// all three) so one setup serves every mode product of a decomposition
+// loop — the same amortisation CPALS and DistCPALS use internally. Use
+// it instead of NewExecutor whenever you need more than the mode-1
+// product:
+//
+//	me, _ := spblock.NewMultiExecutor(x, plan)
+//	factors := [3]*spblock.Matrix{a, b, c}
+//	_ = me.Run(1, factors, out) // out = X₍₂₎ · (A ⊙ C)
+func NewMultiExecutor(t *Tensor, plan Plan, modes ...int) (*MultiExecutor, error) {
+	return engine.NewMultiModeExecutor(t, plan, modes...)
+}
 
 // MTTKRP computes out = X₍₁₎ · (B ⊙ C) once with the given plan.
 func MTTKRP(t *Tensor, b, c, out *Matrix, plan Plan) error {

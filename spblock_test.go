@@ -260,3 +260,53 @@ func TestFacadeCPAPR(t *testing.T) {
 		t.Fatalf("KL trajectory broken: %v", res.KL)
 	}
 }
+
+func TestFacadeMultiExecutor(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dims := spblock.Dims{15, 12, 10}
+	x := demoTensor(rng, dims, 350)
+	const rank = 16
+
+	factors := [3]*spblock.Matrix{}
+	for n := 0; n < 3; n++ {
+		m := spblock.NewMatrix(dims[n], rank)
+		for i := range m.Data {
+			m.Data[i] = rng.Float64()
+		}
+		factors[n] = m
+	}
+
+	me, err := spblock.NewMultiExecutor(x, spblock.Plan{
+		Method: spblock.MethodMBRankB, Grid: [3]int{3, 2, 2}, RankBlockCols: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every mode product must agree with a one-shot COO MTTKRP on an
+	// explicitly permuted tensor.
+	perms := [3][3]int{{0, 1, 2}, {1, 0, 2}, {2, 0, 1}}
+	operands := [3][2]int{{1, 2}, {0, 2}, {0, 1}}
+	for n := 0; n < 3; n++ {
+		pt, err := x.PermuteModes(perms[n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := spblock.NewMatrix(dims[n], rank)
+		if err := spblock.MTTKRP(pt, factors[operands[n][0]], factors[operands[n][1]], want,
+			spblock.Plan{Method: spblock.MethodCOO}); err != nil {
+			t.Fatal(err)
+		}
+		got := spblock.NewMatrix(dims[n], rank)
+		for rep := 0; rep < 2; rep++ { // second run reuses the workspace
+			if err := me.Run(n, factors, got); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if d := got.MaxAbsDiff(want); d > 1e-9 {
+			t.Fatalf("mode %d differs from COO reference by %v", n, d)
+		}
+	}
+	if _, err := me.Executor(0); err != nil {
+		t.Fatal(err)
+	}
+}
