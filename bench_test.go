@@ -152,6 +152,70 @@ func BenchmarkMTTKRPMBRankB(b *testing.B) {
 	})
 }
 
+// benchOperandsN builds the order-4 analogue: a 96x512x96x24 tensor
+// with 200k nonzeros at rank 64, run through the unified N-mode engine.
+func benchOperandsN(b *testing.B) (*spblock.TensorN, []*spblock.Matrix, *spblock.Matrix) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(99))
+	dims := []int{96, 512, 96, 24}
+	x := spblock.NewTensorN(dims, 200_000)
+	coords := make([]int32, 4)
+	for p := 0; p < 200_000; p++ {
+		for m, d := range dims {
+			coords[m] = int32(rng.Intn(d))
+		}
+		x.Append(coords, rng.Float64())
+	}
+	if _, err := x.Dedup(); err != nil {
+		b.Fatal(err)
+	}
+	const rank = 64
+	factors := make([]*spblock.Matrix, 4)
+	for m := 1; m < 4; m++ {
+		factors[m] = spblock.NewMatrix(dims[m], rank)
+		for i := range factors[m].Data {
+			factors[m].Data[i] = rng.Float64()
+		}
+	}
+	return x, factors, spblock.NewMatrix(dims[0], rank)
+}
+
+func benchKernelN(b *testing.B, opts spblock.OptionsN) {
+	x, factors, out := benchOperandsN(b)
+	exec, err := spblock.NewExecutorN(x, 0, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flops := int64(x.Order()-1) * int64(out.Cols) * int64(x.NNZ())
+	b.SetBytes(flops)                             // reported "MB/s" is really MFLOP/s x 1e-6
+	b.ReportAllocs()                              // steady-state Run must stay at 0 allocs/op
+	if err := exec.Run(factors, out); err != nil { // warm-up sizes the workspace
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := exec.Run(factors, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMTTKRPN(b *testing.B) {
+	benchKernelN(b, spblock.OptionsN{Workers: 1})
+}
+
+func BenchmarkMTTKRPNRankB(b *testing.B) {
+	benchKernelN(b, spblock.OptionsN{RankBlockCols: 32, Workers: 1})
+}
+
+func BenchmarkMTTKRPNMB(b *testing.B) {
+	benchKernelN(b, spblock.OptionsN{Grid: []int{1, 4, 1, 1}, Workers: 1})
+}
+
+func BenchmarkMTTKRPNMBRankB(b *testing.B) {
+	benchKernelN(b, spblock.OptionsN{Grid: []int{1, 4, 1, 1}, RankBlockCols: 32, Workers: 1})
+}
+
 func BenchmarkBuildCSF(b *testing.B) {
 	x, _, _, _ := benchOperands(b)
 	b.ResetTimer()

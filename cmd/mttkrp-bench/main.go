@@ -3,9 +3,14 @@
 // splatt --bench does, reporting time, GFLOP/s and speedup over the
 // SPLATT baseline, with optional autotuned block sizes.
 //
+// Third-order tensors run the full order-3 plan table. Higher-order
+// tensors (an order-N .tns, or the synthetic Poisson4 data set) run the
+// unified N-mode engine's configuration ladder instead.
+//
 // Usage:
 //
 //	mttkrp-bench -dataset Poisson2 -rank 128
+//	mttkrp-bench -dataset Poisson4 -rank 64
 //	mttkrp-bench -in tensor.tns -rank 64 -autotune -reps 5
 package main
 
@@ -17,13 +22,14 @@ import (
 	"spblock"
 	"spblock/internal/bench"
 	"spblock/internal/gen"
+	"spblock/internal/nmode"
 	"spblock/internal/tensor"
 )
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input .tns file")
-		dataset  = flag.String("dataset", "", "Table II data set name instead of -in")
+		in       = flag.String("in", "", "input .tns file (any order >= 2)")
+		dataset  = flag.String("dataset", "", "Table II data set name, or Poisson4, instead of -in")
 		scale    = flag.Float64("scale", 1.0, "scale for -dataset")
 		rank     = flag.Int("rank", 64, "decomposition rank R")
 		reps     = flag.Int("reps", 3, "timed repetitions (best kept)")
@@ -33,10 +39,22 @@ func main() {
 	)
 	flag.Parse()
 
-	x, err := loadTensor(*in, *dataset, *scale, *seed)
+	nt, err := loadTensor(*in, *dataset, *scale, *seed)
 	if err != nil {
 		fatal(err)
 	}
+	if nt.Order() == 3 {
+		x, err := tensor.FromNMode(nt)
+		if err != nil {
+			fatal(err)
+		}
+		bench3(x, *rank, *reps, *workers, *autotune, *seed)
+		return
+	}
+	benchN(nt, *rank, *reps, *workers, *seed)
+}
+
+func bench3(x *tensor.COO, rank, reps, workers int, autotune bool, seed int64) {
 	stats := spblock.ComputeStats(x)
 	profile, err := tensor.ProfileTensor(x)
 	if err != nil {
@@ -44,33 +62,33 @@ func main() {
 	}
 	fmt.Printf("tensor: %s\n", profile)
 	fmt.Printf("rank:   %d   (factor B is %.1f MB)\n\n",
-		*rank, float64(x.Dims[1]**rank*8)/1e6)
+		rank, float64(x.Dims[1]*rank*8)/1e6)
 
 	plans := []spblock.Plan{
 		{Method: spblock.MethodCOO},
-		{Method: spblock.MethodSPLATT, Workers: *workers},
-		{Method: spblock.MethodMB, Grid: [3]int{1, 2, 1}, Workers: *workers},
-		{Method: spblock.MethodRankB, RankBlockCols: min(64, *rank), Workers: *workers},
-		{Method: spblock.MethodMBRankB, Grid: [3]int{1, 2, 1}, RankBlockCols: min(64, *rank), Workers: *workers},
+		{Method: spblock.MethodSPLATT, Workers: workers},
+		{Method: spblock.MethodMB, Grid: [3]int{1, 2, 1}, Workers: workers},
+		{Method: spblock.MethodRankB, RankBlockCols: min(64, rank), Workers: workers},
+		{Method: spblock.MethodMBRankB, Grid: [3]int{1, 2, 1}, RankBlockCols: min(64, rank), Workers: workers},
 	}
-	if *autotune {
-		opts := spblock.AutotuneOptions{Trials: 1, Seed: *seed, Workers: *workers}
+	if autotune {
+		opts := spblock.AutotuneOptions{Trials: 1, Seed: seed, Workers: workers}
 		for i, p := range plans {
 			if p.Method == spblock.MethodCOO || p.Method == spblock.MethodSPLATT {
 				continue
 			}
-			tuned, _, err := spblock.Autotune(x, *rank, p.Method, opts)
+			tuned, _, err := spblock.Autotune(x, rank, p.Method, opts)
 			if err != nil {
 				fatal(err)
 			}
 			plans[i] = tuned
-			plans[i].Workers = *workers
+			plans[i].Workers = workers
 		}
 	}
 
-	b := randomMatrix(x.Dims[1], *rank, *seed+1)
-	c := randomMatrix(x.Dims[2], *rank, *seed+2)
-	out := spblock.NewMatrix(x.Dims[0], *rank)
+	b := randomMatrix(x.Dims[1], rank, seed+1)
+	c := randomMatrix(x.Dims[2], rank, seed+2)
+	out := spblock.NewMatrix(x.Dims[0], rank)
 
 	var baseline float64
 	fmt.Printf("%-36s %10s %9s %9s\n", "plan", "time (s)", "GFLOP/s", "speedup")
@@ -82,12 +100,12 @@ func main() {
 		if err := exec.Run(b, c, out); err != nil { // warm-up
 			fatal(err)
 		}
-		sec := bench.TimeBest(*reps, func() {
+		sec := bench.TimeBest(reps, func() {
 			if err := exec.Run(b, c, out); err != nil {
 				panic(err)
 			}
 		})
-		gf := bench.GFLOPS(int64(stats.NNZ), int64(stats.Fibers), *rank, sec)
+		gf := bench.GFLOPS(int64(stats.NNZ), int64(stats.Fibers), rank, sec)
 		if plan.Method == spblock.MethodSPLATT {
 			baseline = sec
 		}
@@ -99,27 +117,119 @@ func main() {
 	}
 }
 
-func loadTensor(in, dataset string, scale float64, seed int64) (*tensor.COO, error) {
+// benchN times the unified order-N engine's configuration ladder on a
+// higher-order tensor: plain CSF, rank strips, a multi-dimensional
+// block grid, and the combination — each a pooled mode-0 executor.
+func benchN(t *nmode.Tensor, rank, reps, workers int, seed int64) {
+	n := t.Order()
+	fmt.Printf("tensor: %v nnz=%d (order %d)\n", t.Dims, t.NNZ(), n)
+	fmt.Printf("rank:   %d\n\n", rank)
+
+	grid := make([]int, n)
+	for m := range grid {
+		grid[m] = 1
+	}
+	// Split the longest non-output mode so the blocked rows exercise a
+	// real grid without changing the root-mode layer structure.
+	long := 1
+	for m := 2; m < n; m++ {
+		if t.Dims[m] > t.Dims[long] {
+			long = m
+		}
+	}
+	grid[long] = 2
+
+	rows := []struct {
+		name string
+		opts spblock.OptionsN
+	}{
+		{"csf-n", spblock.OptionsN{Workers: workers}},
+		{"csf-n+rankb", spblock.OptionsN{RankBlockCols: min(64, rank), Workers: workers}},
+		{"csf-n+mb", spblock.OptionsN{Grid: grid, Workers: workers}},
+		{"csf-n+mb+rankb", spblock.OptionsN{Grid: grid, RankBlockCols: min(64, rank), Workers: workers}},
+	}
+
+	factors := make([]*spblock.Matrix, n)
+	for m := 1; m < n; m++ {
+		factors[m] = randomMatrix(t.Dims[m], rank, seed+int64(m))
+	}
+	out := spblock.NewMatrix(t.Dims[0], rank)
+
+	var baseline float64
+	fmt.Printf("%-36s %10s %9s %9s\n", "plan", "time (s)", "GFLOP/s", "speedup")
+	for i, row := range rows {
+		exec, err := spblock.NewExecutorN(t, 0, row.opts)
+		if err != nil {
+			fatal(err)
+		}
+		if err := exec.Run(factors, out); err != nil { // warm-up
+			fatal(err)
+		}
+		sec := bench.TimeBest(reps, func() {
+			if err := exec.Run(factors, out); err != nil {
+				panic(err)
+			}
+		})
+		// The order-N kernel does ~(order-1) fused multiply-adds of
+		// width R per nonzero; reuse the paper's 2R(nnz+fibers) model
+		// with the fiber term folded into the nnz walk.
+		gf := float64(n-1) * float64(rank) * float64(t.NNZ()) / sec / 1e9
+		if i == 0 {
+			baseline = sec
+		}
+		speedup := "-"
+		if baseline > 0 {
+			speedup = fmt.Sprintf("%.2fx", baseline/sec)
+		}
+		fmt.Printf("%-36s %10.4f %9.2f %9s\n", row.name, sec, gf, speedup)
+	}
+}
+
+func loadTensor(in, dataset string, scale float64, seed int64) (*nmode.Tensor, error) {
 	switch {
 	case in != "":
-		return spblock.LoadTNS(in)
-	case dataset != "":
-		spec, err := gen.Lookup(dataset)
-		if err != nil {
-			return nil, err
-		}
-		if scale == 1 {
-			return spec.Generate(seed)
-		}
-		d := spec.BenchDims
-		for m := 0; m < 3; m++ {
+		return spblock.LoadTNSN(in)
+	case dataset == "Poisson4":
+		// Order-4 synthetic row: the Poisson1 shape with a short fourth
+		// mode, sized so the default run finishes in seconds.
+		d := []int{256, 256, 256, 16}
+		nnz := 1_000_000
+		for m := range d {
 			if v := int(float64(d[m]) * scale); v >= 8 {
 				d[m] = v
 			} else {
 				d[m] = 8
 			}
 		}
-		return spec.GenerateAt(d, int(float64(spec.BenchNNZ)*scale), seed)
+		if v := int(float64(nnz) * scale); v >= 100 {
+			nnz = v
+		} else {
+			nnz = 100
+		}
+		return gen.PoissonN(gen.PoissonNParams{Dims: d, Events: nnz + nnz/8}, seed)
+	case dataset != "":
+		spec, err := gen.Lookup(dataset)
+		if err != nil {
+			return nil, err
+		}
+		var coo *tensor.COO
+		if scale == 1 {
+			coo, err = spec.Generate(seed)
+		} else {
+			d := spec.BenchDims
+			for m := 0; m < 3; m++ {
+				if v := int(float64(d[m]) * scale); v >= 8 {
+					d[m] = v
+				} else {
+					d[m] = 8
+				}
+			}
+			coo, err = spec.GenerateAt(d, int(float64(spec.BenchNNZ)*scale), seed)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return tensor.ToNMode(coo), nil
 	default:
 		return nil, fmt.Errorf("need -in or -dataset")
 	}

@@ -20,13 +20,40 @@ func TestGenerateCustom(t *testing.T) {
 		dims, kind string
 		nnz        int
 	}{
-		{"10x20", "clustered", 5},
+		{"10", "clustered", 5},
 		{"axbxc", "clustered", 5},
+		{"12x0x9", "clustered", 5},
 		{"10x20x30", "clustered", 0},
 		{"10x20x30", "wat", 5},
+		{"10x20x30x5", "wat", 5},
+		{"10x20x30x5", "clustered", 0},
 	} {
 		if _, err := generateCustom(bad.dims, bad.nnz, bad.kind, 1); err == nil {
 			t.Fatalf("accepted %+v", bad)
+		}
+	}
+}
+
+func TestGenerateCustomOrderN(t *testing.T) {
+	for _, kind := range []string{"clustered", "poisson"} {
+		x, err := generateCustom("10x20x30x8", 200, kind, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if x.Order() != 4 {
+			t.Fatalf("%s: order = %d", kind, x.Order())
+		}
+		want := []int{10, 20, 30, 8}
+		for m, d := range want {
+			if x.Dims[m] != d {
+				t.Fatalf("%s: dims = %v, want %v", kind, x.Dims, want)
+			}
+		}
+		if x.NNZ() == 0 {
+			t.Fatalf("%s: empty tensor", kind)
+		}
+		if err := x.Validate(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
 		}
 	}
 }

@@ -1,0 +1,201 @@
+// Package als holds the single CP-ALS sweep loop shared by every
+// decomposition driver in the repo (cpd.CPALS, cpd.CPALSN, dist.CPALS).
+// The loop — random factor init, per-mode MTTKRP dispatch, Gram /
+// Hadamard normal-equation solve, lambda normalisation, fit and
+// convergence — is identical across the shared-memory order-3, order-N
+// and distributed paths; only the MTTKRP kernel differs, so the kernel
+// is the interface and everything else lives here exactly once.
+//
+// The random number stream is part of the contract: factors are
+// initialised mode by mode from one rand source, and dead-column
+// reseeds draw from the same source, so two drivers with numerically
+// identical kernels produce identical trajectories (the property the
+// dist-vs-cpd and memoized-vs-plain equivalence tests pin down).
+package als
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"spblock/internal/la"
+)
+
+// Kernel supplies the mode products for one decomposition. MTTKRP
+// receives the full factor set indexed by mode (the output mode's entry
+// may be ignored) and must leave out = the mode-`mode` matricised
+// tensor times Khatri-Rao product.
+type Kernel interface {
+	Dims() []int
+	MTTKRP(mode int, factors []*la.Matrix, out *la.Matrix) error
+}
+
+// SweepStarter is an optional Kernel extension invoked once at the top
+// of every sweep with the current factors — the hook the memoized
+// order-3 path uses to compute its shared mode-3 contraction.
+type SweepStarter interface {
+	StartSweep(factors []*la.Matrix) error
+}
+
+// Config parameterises Run. Callers own their public-facing defaults;
+// Run only backstops MaxIters (50) and Tol (1e-5).
+type Config struct {
+	Rank     int
+	MaxIters int
+	Tol      float64
+	Seed     int64
+	// NormX is ‖X‖ of the input tensor, used by the fit identity.
+	NormX float64
+	// ErrPrefix names the calling package in error messages ("cpd",
+	// "dist"); empty means "als".
+	ErrPrefix string
+}
+
+// Result is a fitted Kruskal tensor with one factor per mode.
+type Result struct {
+	Lambda    []float64
+	Factors   []*la.Matrix
+	Fits      []float64
+	Iters     int
+	Converged bool
+}
+
+// Run executes CP-ALS sweeps over k until convergence or MaxIters. On a
+// mid-sweep error the partial result is returned alongside the error.
+func Run(k Kernel, cfg Config) (*Result, error) {
+	pfx := cfg.ErrPrefix
+	if pfx == "" {
+		pfx = "als"
+	}
+	dims := k.Dims()
+	n := len(dims)
+	r := cfg.Rank
+	if r <= 0 {
+		return nil, fmt.Errorf("%s: rank must be positive, got %d", pfx, r)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("%s: CP-ALS needs order >= 2, got %d", pfx, n)
+	}
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 50
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-5
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &Result{
+		Lambda:  make([]float64, r),
+		Factors: make([]*la.Matrix, n),
+	}
+	for mode := 0; mode < n; mode++ {
+		m := la.NewMatrix(dims[mode], r)
+		for i := range m.Data {
+			m.Data[i] = rng.Float64()
+		}
+		res.Factors[mode] = m
+	}
+	grams := make([]*la.Matrix, n)
+	for mode := 0; mode < n; mode++ {
+		grams[mode] = la.Gram(res.Factors[mode])
+	}
+
+	outs := make([]*la.Matrix, n)
+	for mode := 0; mode < n; mode++ {
+		outs[mode] = la.NewMatrix(dims[mode], r)
+	}
+
+	starter, _ := k.(SweepStarter)
+	prevFit := 0.0
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		if starter != nil {
+			if err := starter.StartSweep(res.Factors); err != nil {
+				return res, err
+			}
+		}
+		for mode := 0; mode < n; mode++ {
+			if err := k.MTTKRP(mode, res.Factors, outs[mode]); err != nil {
+				return res, err
+			}
+			// V = Hadamard of all other modes' Gram matrices.
+			var v *la.Matrix
+			for other := 0; other < n; other++ {
+				if other == mode {
+					continue
+				}
+				if v == nil {
+					v = grams[other].Clone()
+				} else {
+					la.HadamardInPlace(v, grams[other])
+				}
+			}
+			res.Factors[mode].CopyFrom(outs[mode])
+			if err := la.SolveSPD(v, res.Factors[mode]); err != nil {
+				return res, fmt.Errorf("%s: mode-%d solve: %w", pfx, mode+1, err)
+			}
+			copy(res.Lambda, la.NormalizeColumns(res.Factors[mode]))
+			// Guard against dead columns: a zero column would make all
+			// later Gram products singular; re-seed it randomly.
+			for q := 0; q < r; q++ {
+				if res.Lambda[q] == 0 {
+					for i := 0; i < res.Factors[mode].Rows; i++ {
+						res.Factors[mode].Set(i, q, rng.Float64())
+					}
+				}
+			}
+			grams[mode] = la.Gram(res.Factors[mode])
+		}
+
+		fit := fit(cfg.NormX, res, grams, outs[n-1])
+		res.Fits = append(res.Fits, fit)
+		res.Iters = iter + 1
+		if iter > 0 && math.Abs(fit-prevFit) < cfg.Tol {
+			res.Converged = true
+			break
+		}
+		prevFit = fit
+	}
+	return res, nil
+}
+
+// fit evaluates 1 − ‖X − M‖/‖X‖ with the standard identity
+// ‖X − M‖² = ‖X‖² + ‖M‖² − 2⟨X, M⟩: ‖M‖² = λᵀ (∘_n G_n) λ, and ⟨X, M⟩
+// falls out of the last mode's MTTKRP against the (normalised) last
+// factor and λ.
+func fit(normX float64, res *Result, grams []*la.Matrix, lastMTTKRP *la.Matrix) float64 {
+	r := len(res.Lambda)
+	var gAll *la.Matrix
+	for _, g := range grams {
+		if gAll == nil {
+			gAll = g.Clone()
+		} else {
+			la.HadamardInPlace(gAll, g)
+		}
+	}
+	var normM2 float64
+	for p := 0; p < r; p++ {
+		row := gAll.Row(p)
+		for q := 0; q < r; q++ {
+			normM2 += res.Lambda[p] * res.Lambda[q] * row[q]
+		}
+	}
+	if normM2 < 0 {
+		normM2 = 0
+	}
+	var inner float64
+	last := res.Factors[len(res.Factors)-1]
+	for i := 0; i < last.Rows; i++ {
+		frow, mrow := last.Row(i), lastMTTKRP.Row(i)
+		for q := 0; q < r; q++ {
+			inner += res.Lambda[q] * frow[q] * mrow[q]
+		}
+	}
+	residual2 := normX*normX + normM2 - 2*inner
+	if residual2 < 0 {
+		residual2 = 0
+	}
+	if normX == 0 {
+		return 1
+	}
+	return 1 - math.Sqrt(residual2)/normX
+}

@@ -1,0 +1,170 @@
+package als
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"spblock/internal/la"
+)
+
+// denseKernel is a brute-force MTTKRP over an explicit dense tensor,
+// stored as nested index arithmetic over a flat value slice.
+type denseKernel struct {
+	dims []int
+	vals []float64
+	// sweepStarts counts StartSweep invocations when used as a starter.
+	sweepStarts int
+	failMode    int // MTTKRP on this mode errors; -1 disables
+}
+
+func (k *denseKernel) Dims() []int { return k.dims }
+
+func (k *denseKernel) MTTKRP(mode int, factors []*la.Matrix, out *la.Matrix) error {
+	if mode == k.failMode {
+		return errors.New("injected kernel failure")
+	}
+	out.Zero()
+	n := len(k.dims)
+	coords := make([]int, n)
+	for p, v := range k.vals {
+		if v == 0 {
+			continue
+		}
+		rem := p
+		for m := n - 1; m >= 0; m-- {
+			coords[m] = rem % k.dims[m]
+			rem /= k.dims[m]
+		}
+		row := out.Row(coords[mode])
+		for q := 0; q < out.Cols; q++ {
+			w := v
+			for m := 0; m < n; m++ {
+				if m != mode {
+					w *= factors[m].At(coords[m], q)
+				}
+			}
+			row[q] += w
+		}
+	}
+	return nil
+}
+
+// startingKernel adds the SweepStarter extension.
+type startingKernel struct{ denseKernel }
+
+func (k *startingKernel) StartSweep([]*la.Matrix) error {
+	k.sweepStarts++
+	return nil
+}
+
+// rankOne builds a dense rank-1 tensor a ⊗ b ⊗ c with positive entries
+// and returns the kernel plus ‖X‖.
+func rankOne(dims []int) (*denseKernel, float64) {
+	n := len(dims)
+	vecs := make([][]float64, n)
+	for m, d := range dims {
+		vecs[m] = make([]float64, d)
+		for i := range vecs[m] {
+			vecs[m][i] = float64(i+1) / float64(d)
+		}
+	}
+	total := 1
+	for _, d := range dims {
+		total *= d
+	}
+	k := &denseKernel{dims: dims, vals: make([]float64, total), failMode: -1}
+	var norm2 float64
+	for p := range k.vals {
+		rem, v := p, 1.0
+		for m := n - 1; m >= 0; m-- {
+			v *= vecs[m][rem%dims[m]]
+			rem /= dims[m]
+		}
+		k.vals[p] = v
+		norm2 += v * v
+	}
+	return k, math.Sqrt(norm2)
+}
+
+func TestRunValidation(t *testing.T) {
+	k, _ := rankOne([]int{3, 3})
+	if _, err := Run(k, Config{Rank: 0}); err == nil {
+		t.Error("rank 0 accepted")
+	}
+	if _, err := Run(k, Config{Rank: 0, ErrPrefix: "cpd"}); err == nil ||
+		!strings.HasPrefix(err.Error(), "cpd:") {
+		t.Error("ErrPrefix not applied")
+	}
+	short := &denseKernel{dims: []int{4}, failMode: -1}
+	if _, err := Run(short, Config{Rank: 1}); err == nil {
+		t.Error("order-1 kernel accepted")
+	}
+}
+
+func TestRunRecoversRankOne(t *testing.T) {
+	for _, dims := range [][]int{{6, 5}, {5, 4, 3}, {4, 3, 3, 2}} {
+		k, normX := rankOne(dims)
+		res, err := Run(k, Config{Rank: 1, MaxIters: 60, Tol: 1e-12, Seed: 3, NormX: normX})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f := res.Fits[len(res.Fits)-1]; f < 0.9999 {
+			t.Errorf("order %d: rank-1 fit = %v", len(dims), f)
+		}
+		if len(res.Factors) != len(dims) || len(res.Lambda) != 1 {
+			t.Errorf("order %d: result shape wrong", len(dims))
+		}
+		for i := 1; i < len(res.Fits); i++ {
+			if res.Fits[i] < res.Fits[i-1]-1e-8 {
+				t.Errorf("order %d: fit decreased at sweep %d", len(dims), i)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicTrajectory(t *testing.T) {
+	k, normX := rankOne([]int{5, 4, 3})
+	cfg := Config{Rank: 2, MaxIters: 8, Tol: 1e-15, Seed: 7, NormX: normX}
+	a, err := Run(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Fits) != len(b.Fits) {
+		t.Fatalf("sweep counts differ: %d vs %d", len(a.Fits), len(b.Fits))
+	}
+	for i := range a.Fits {
+		if a.Fits[i] != b.Fits[i] {
+			t.Fatalf("sweep %d: %v vs %v", i, a.Fits[i], b.Fits[i])
+		}
+	}
+}
+
+func TestRunStartSweepHook(t *testing.T) {
+	base, normX := rankOne([]int{4, 3, 2})
+	k := &startingKernel{denseKernel: *base}
+	res, err := Run(k, Config{Rank: 1, MaxIters: 5, Tol: 1e-15, Seed: 1, NormX: normX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.sweepStarts != res.Iters {
+		t.Fatalf("StartSweep ran %d times over %d sweeps", k.sweepStarts, res.Iters)
+	}
+}
+
+func TestRunKernelErrorReturnsPartialResult(t *testing.T) {
+	k, normX := rankOne([]int{4, 3, 2})
+	k.failMode = 1
+	res, err := Run(k, Config{Rank: 1, MaxIters: 5, Seed: 1, NormX: normX})
+	if err == nil {
+		t.Fatal("injected failure not surfaced")
+	}
+	if res == nil || len(res.Factors) != 3 {
+		t.Fatal("partial result missing")
+	}
+}

@@ -12,8 +12,8 @@ package cpd
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
+	"spblock/internal/als"
 	"spblock/internal/core"
 	"spblock/internal/engine"
 	"spblock/internal/la"
@@ -78,7 +78,43 @@ func (r *Result) Fit() float64 {
 	return r.Fits[len(r.Fits)-1]
 }
 
-// CPALS decomposes t with alternating least squares.
+// engineKernel adapts the order-3 multi-mode engine to the shared ALS
+// core.
+type engineKernel struct {
+	dims []int
+	eng  *engine.MultiModeExecutor
+}
+
+func (k *engineKernel) Dims() []int { return k.dims }
+
+func (k *engineKernel) MTTKRP(mode int, factors []*la.Matrix, out *la.Matrix) error {
+	return k.eng.Run(mode, [3]*la.Matrix{factors[0], factors[1], factors[2]}, out)
+}
+
+// memoKernel folds modes 1-2 from the shared mode-3 contraction
+// (refreshed once per sweep via StartSweep); mode 3 still runs through
+// the configured engine plan.
+type memoKernel struct {
+	engineKernel
+	memo *memo.Engine
+}
+
+func (k *memoKernel) StartSweep(factors []*la.Matrix) error {
+	return k.memo.ComputeS(factors[2])
+}
+
+func (k *memoKernel) MTTKRP(mode int, factors []*la.Matrix, out *la.Matrix) error {
+	switch mode {
+	case 0:
+		return k.memo.FoldMode1(factors[1], out)
+	case 1:
+		return k.memo.FoldMode2(factors[0], out)
+	}
+	return k.engineKernel.MTTKRP(mode, factors, out)
+}
+
+// CPALS decomposes t with alternating least squares. The sweep loop
+// itself lives in internal/als; this driver only assembles the kernel.
 func CPALS(t *tensor.COO, opts Options) (*Result, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
@@ -87,7 +123,6 @@ func CPALS(t *tensor.COO, opts Options) (*Result, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
-	r := opts.Rank
 
 	var memoEng *memo.Engine
 	if opts.Memoize {
@@ -111,120 +146,30 @@ func CPALS(t *tensor.COO, opts Options) (*Result, error) {
 		return nil, err
 	}
 
-	rng := rand.New(rand.NewSource(opts.Seed))
-	res := &Result{Lambda: make([]float64, r)}
-	for n := 0; n < 3; n++ {
-		m := la.NewMatrix(t.Dims[n], r)
-		for i := range m.Data {
-			m.Data[i] = rng.Float64()
-		}
-		res.Factors[n] = m
+	ek := engineKernel{dims: t.Dims[:], eng: eng}
+	var k als.Kernel = &ek
+	if memoEng != nil {
+		k = &memoKernel{engineKernel: ek, memo: memoEng}
 	}
-	grams := [3]*la.Matrix{}
-	for n := 0; n < 3; n++ {
-		grams[n] = la.Gram(res.Factors[n])
+	ares, aerr := als.Run(k, als.Config{
+		Rank:      opts.Rank,
+		MaxIters:  opts.MaxIters,
+		Tol:       opts.Tol,
+		Seed:      opts.Seed,
+		NormX:     math.Sqrt(t.NormSquared()),
+		ErrPrefix: "cpd",
+	})
+	if ares == nil {
+		return nil, aerr
 	}
-
-	normX := math.Sqrt(t.NormSquared())
-	mttkrpOut := [3]*la.Matrix{}
-	for n := 0; n < 3; n++ {
-		mttkrpOut[n] = la.NewMatrix(t.Dims[n], r)
+	res := &Result{
+		Lambda:    ares.Lambda,
+		Fits:      ares.Fits,
+		Iters:     ares.Iters,
+		Converged: ares.Converged,
 	}
-
-	prevFit := 0.0
-	for iter := 0; iter < opts.MaxIters; iter++ {
-		if memoEng != nil {
-			// One contraction with the current C serves both the
-			// mode-1 and mode-2 folds of this sweep.
-			if err := memoEng.ComputeS(res.Factors[2]); err != nil {
-				return res, err
-			}
-		}
-		for n := 0; n < 3; n++ {
-			mp := engine.Modes[n]
-			out := mttkrpOut[n]
-			switch {
-			case memoEng != nil && n == 0:
-				if err := memoEng.FoldMode1(res.Factors[1], out); err != nil {
-					return res, err
-				}
-			case memoEng != nil && n == 1:
-				if err := memoEng.FoldMode2(res.Factors[0], out); err != nil {
-					return res, err
-				}
-			default:
-				if err := eng.Run(n, res.Factors, out); err != nil {
-					return res, err
-				}
-			}
-			// V = hadamard of the other modes' Gram matrices.
-			v := la.Hadamard(grams[mp.BFactor], grams[mp.CFactor])
-			res.Factors[n].CopyFrom(out)
-			if err := la.SolveSPD(v, res.Factors[n]); err != nil {
-				return res, fmt.Errorf("cpd: mode-%d solve: %w", n+1, err)
-			}
-			copy(res.Lambda, la.NormalizeColumns(res.Factors[n]))
-			// Guard against dead columns: a zero column would make all
-			// later Gram products singular; re-seed it randomly.
-			for q := 0; q < r; q++ {
-				if res.Lambda[q] == 0 {
-					for i := 0; i < res.Factors[n].Rows; i++ {
-						res.Factors[n].Set(i, q, rng.Float64())
-					}
-				}
-			}
-			grams[n] = la.Gram(res.Factors[n])
-		}
-
-		fit := computeFit(normX, res, grams, mttkrpOut[2])
-		res.Fits = append(res.Fits, fit)
-		res.Iters = iter + 1
-		if iter > 0 && math.Abs(fit-prevFit) < opts.Tol {
-			res.Converged = true
-			break
-		}
-		prevFit = fit
-	}
-	return res, nil
-}
-
-// computeFit evaluates 1 − ‖X − M‖/‖X‖ with the standard identity
-// ‖X − M‖² = ‖X‖² + ‖M‖² − 2⟨X, M⟩, where ⟨X, M⟩ falls out of the last
-// mode's MTTKRP: ⟨X, M⟩ = Σ_{i,r} λ_r · MTTKRP₃[i][r] · C[i][r], and
-// ‖M‖² = λᵀ (G_A ∘ G_B ∘ G_C) λ.
-func computeFit(normX float64, res *Result, grams [3]*la.Matrix, lastMTTKRP *la.Matrix) float64 {
-	r := len(res.Lambda)
-	// ‖M‖².
-	gAll := la.Hadamard(la.Hadamard(grams[0], grams[1]), grams[2])
-	var normM2 float64
-	for p := 0; p < r; p++ {
-		row := gAll.Row(p)
-		for q := 0; q < r; q++ {
-			normM2 += res.Lambda[p] * res.Lambda[q] * row[q]
-		}
-	}
-	if normM2 < 0 {
-		normM2 = 0
-	}
-	// ⟨X, M⟩ — the mode-3 factor was updated from lastMTTKRP, then
-	// normalised, so C .* lastMTTKRP summed with λ weights recovers the
-	// inner product.
-	var inner float64
-	c := res.Factors[2]
-	for i := 0; i < c.Rows; i++ {
-		crow, mrow := c.Row(i), lastMTTKRP.Row(i)
-		for q := 0; q < r; q++ {
-			inner += res.Lambda[q] * crow[q] * mrow[q]
-		}
-	}
-	residual2 := normX*normX + normM2 - 2*inner
-	if residual2 < 0 {
-		residual2 = 0
-	}
-	if normX == 0 {
-		return 1
-	}
-	return 1 - math.Sqrt(residual2)/normX
+	copy(res.Factors[:], ares.Factors)
+	return res, aerr
 }
 
 // ReconstructDense materialises the fitted model as a dense tensor in a

@@ -3,8 +3,9 @@ package cpd
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
+	"spblock/internal/als"
+	"spblock/internal/engine"
 	"spblock/internal/la"
 	"spblock/internal/nmode"
 )
@@ -18,7 +19,8 @@ type NOptions struct {
 	// Tol stops iteration when the fit improves by less than this.
 	// Default 1e-5.
 	Tol float64
-	// Kernel configures the N-mode MTTKRP (rank strips, workers).
+	// Kernel configures the N-mode MTTKRP (rank strips, workers, MB
+	// grid). Third-order inputs take the engine's order-3 fast path.
 	Kernel nmode.Options
 	// Seed drives the random factor initialisation.
 	Seed int64
@@ -41,9 +43,22 @@ func (r *NResult) Fit() float64 {
 	return r.Fits[len(r.Fits)-1]
 }
 
+// nKernel adapts the order-N engine to the shared ALS core.
+type nKernel struct {
+	dims []int
+	eng  *engine.NEngine
+}
+
+func (k *nKernel) Dims() []int { return k.dims }
+
+func (k *nKernel) MTTKRP(mode int, factors []*la.Matrix, out *la.Matrix) error {
+	return k.eng.Run(mode, factors, out)
+}
+
 // CPALSN decomposes an order-N sparse tensor with alternating least
-// squares, one CSF tree per mode (the higher-order generalisation the
-// paper defers to the CSF work of Smith & Karypis).
+// squares on the unified engine: one pooled mode-rooted executor per
+// mode, built once per decomposition, with the sweep loop shared with
+// CPALS via internal/als.
 func CPALSN(t *nmode.Tensor, opts NOptions) (*NResult, error) {
 	if opts.Rank <= 0 {
 		return nil, fmt.Errorf("cpd: rank must be positive, got %d", opts.Rank)
@@ -60,125 +75,32 @@ func CPALSN(t *nmode.Tensor, opts NOptions) (*NResult, error) {
 	if opts.Tol <= 0 {
 		opts.Tol = 1e-5
 	}
-	n := t.Order()
-	r := opts.Rank
 
-	trees := make([]*nmode.CSF, n)
-	for mode := 0; mode < n; mode++ {
-		c, err := nmode.Build(t, nmode.DefaultModeOrder(t.Dims, mode))
-		if err != nil {
-			return nil, err
-		}
-		trees[mode] = c
-	}
-
-	rng := rand.New(rand.NewSource(opts.Seed))
-	res := &NResult{
-		Lambda:  make([]float64, r),
-		Factors: make([]*la.Matrix, n),
-	}
-	grams := make([]*la.Matrix, n)
-	for mode := 0; mode < n; mode++ {
-		m := la.NewMatrix(t.Dims[mode], r)
-		for i := range m.Data {
-			m.Data[i] = rng.Float64()
-		}
-		res.Factors[mode] = m
-		grams[mode] = la.Gram(m)
+	eng, err := engine.NewNEngine(t, opts.Kernel)
+	if err != nil {
+		return nil, err
 	}
 
 	var normX float64
 	for _, v := range t.Val {
 		normX += v * v
 	}
-	normX = math.Sqrt(normX)
-
-	outs := make([]*la.Matrix, n)
-	for mode := 0; mode < n; mode++ {
-		outs[mode] = la.NewMatrix(t.Dims[mode], r)
+	ares, aerr := als.Run(&nKernel{dims: t.Dims, eng: eng}, als.Config{
+		Rank:      opts.Rank,
+		MaxIters:  opts.MaxIters,
+		Tol:       opts.Tol,
+		Seed:      opts.Seed,
+		NormX:     math.Sqrt(normX),
+		ErrPrefix: "cpd",
+	})
+	if ares == nil {
+		return nil, aerr
 	}
-
-	prevFit := 0.0
-	for iter := 0; iter < opts.MaxIters; iter++ {
-		for mode := 0; mode < n; mode++ {
-			if err := nmode.MTTKRP(trees[mode], res.Factors, outs[mode], opts.Kernel); err != nil {
-				return res, err
-			}
-			// V = hadamard of all other modes' Gram matrices.
-			var v *la.Matrix
-			for other := 0; other < n; other++ {
-				if other == mode {
-					continue
-				}
-				if v == nil {
-					v = grams[other].Clone()
-				} else {
-					la.HadamardInPlace(v, grams[other])
-				}
-			}
-			res.Factors[mode].CopyFrom(outs[mode])
-			if err := la.SolveSPD(v, res.Factors[mode]); err != nil {
-				return res, fmt.Errorf("cpd: mode-%d solve: %w", mode+1, err)
-			}
-			copy(res.Lambda, la.NormalizeColumns(res.Factors[mode]))
-			for q := 0; q < r; q++ {
-				if res.Lambda[q] == 0 {
-					for i := 0; i < res.Factors[mode].Rows; i++ {
-						res.Factors[mode].Set(i, q, rng.Float64())
-					}
-				}
-			}
-			grams[mode] = la.Gram(res.Factors[mode])
-		}
-
-		fit := computeFitN(normX, res, grams, outs[n-1])
-		res.Fits = append(res.Fits, fit)
-		res.Iters = iter + 1
-		if iter > 0 && math.Abs(fit-prevFit) < opts.Tol {
-			res.Converged = true
-			break
-		}
-		prevFit = fit
-	}
-	return res, nil
-}
-
-// computeFitN generalises computeFit: ⟨X, M⟩ falls out of the last
-// mode's MTTKRP against the (normalised) last factor and λ.
-func computeFitN(normX float64, res *NResult, grams []*la.Matrix, lastMTTKRP *la.Matrix) float64 {
-	r := len(res.Lambda)
-	var gAll *la.Matrix
-	for _, g := range grams {
-		if gAll == nil {
-			gAll = g.Clone()
-		} else {
-			la.HadamardInPlace(gAll, g)
-		}
-	}
-	var normM2 float64
-	for p := 0; p < r; p++ {
-		row := gAll.Row(p)
-		for q := 0; q < r; q++ {
-			normM2 += res.Lambda[p] * res.Lambda[q] * row[q]
-		}
-	}
-	if normM2 < 0 {
-		normM2 = 0
-	}
-	var inner float64
-	last := res.Factors[len(res.Factors)-1]
-	for i := 0; i < last.Rows; i++ {
-		frow, mrow := last.Row(i), lastMTTKRP.Row(i)
-		for q := 0; q < r; q++ {
-			inner += res.Lambda[q] * frow[q] * mrow[q]
-		}
-	}
-	residual2 := normX*normX + normM2 - 2*inner
-	if residual2 < 0 {
-		residual2 = 0
-	}
-	if normX == 0 {
-		return 1
-	}
-	return 1 - math.Sqrt(residual2)/normX
+	return &NResult{
+		Lambda:    ares.Lambda,
+		Factors:   ares.Factors,
+		Fits:      ares.Fits,
+		Iters:     ares.Iters,
+		Converged: ares.Converged,
+	}, aerr
 }

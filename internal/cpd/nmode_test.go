@@ -93,6 +93,45 @@ func TestCPALSNMatchesThreeModeCPALS(t *testing.T) {
 	}
 }
 
+// TestCPALSNTrajectoryMatchesCPALS is the strong form of the agreement
+// test: with the shared internal/als sweep loop, the same seed, and the
+// default kernels (both SPLATT on the order-3 fast path), the two entry
+// points must produce the same fit trajectory — not just comparable
+// endpoints.
+func TestCPALSNTrajectoryMatchesCPALS(t *testing.T) {
+	dims3 := []int{9, 8, 7}
+	xN := plantedTensorN(11, dims3, 3)
+	x3 := tensorFromN(xN)
+
+	resN, err := CPALSN(xN, NOptions{Rank: 3, MaxIters: 25, Tol: 1e-12, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3, err := CPALS(x3, Options{Rank: 3, MaxIters: 25, Tol: 1e-12, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resN.Iters != res3.Iters || len(resN.Fits) != len(res3.Fits) {
+		t.Fatalf("iters %d vs %d, fits %d vs %d",
+			resN.Iters, res3.Iters, len(resN.Fits), len(res3.Fits))
+	}
+	for i := range resN.Fits {
+		if d := math.Abs(resN.Fits[i] - res3.Fits[i]); d > 1e-8 {
+			t.Fatalf("sweep %d: fit %v vs %v (diff %v)", i, resN.Fits[i], res3.Fits[i], d)
+		}
+	}
+	for q := range resN.Lambda {
+		if d := math.Abs(resN.Lambda[q] - res3.Lambda[q]); d > 1e-6 {
+			t.Fatalf("lambda[%d]: %v vs %v", q, resN.Lambda[q], res3.Lambda[q])
+		}
+	}
+	for m := 0; m < 3; m++ {
+		if d := resN.Factors[m].MaxAbsDiff(res3.Factors[m]); d > 1e-6 {
+			t.Fatalf("factor %d differs by %v", m, d)
+		}
+	}
+}
+
 // tensorFromN converts an order-3 nmode.Tensor to the tensor.COO form.
 func tensorFromN(x *nmode.Tensor) *tensor.COO {
 	t := tensor.NewCOO(tensor.Dims{x.Dims[0], x.Dims[1], x.Dims[2]}, x.NNZ())

@@ -3,8 +3,8 @@ package dist
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
+	"spblock/internal/als"
 	"spblock/internal/engine"
 	"spblock/internal/la"
 	"spblock/internal/tensor"
@@ -48,12 +48,38 @@ func (r *CPResult) Fit() float64 {
 	return r.Fits[len(r.Fits)-1]
 }
 
+// distKernel adapts the distributed runtime to the shared ALS core:
+// each mode product runs on its partitioned engine, the result is
+// copied into the core's output buffer, and the modeled time /
+// communication volume accumulate on the CPResult as they always did.
+type distKernel struct {
+	dims    []int
+	engines [3]*Engine
+	res     *CPResult
+}
+
+func (k *distKernel) Dims() []int { return k.dims }
+
+func (k *distKernel) MTTKRP(mode int, factors []*la.Matrix, out *la.Matrix) error {
+	mp := engine.Modes[mode]
+	dr, err := k.engines[mode].Run(factors[mp.BFactor], factors[mp.CFactor])
+	if err != nil {
+		return err
+	}
+	k.res.ModeledSeconds += dr.ModeledSeconds
+	k.res.CommBytes += dr.Stats.TotalBytes()
+	out.CopyFrom(dr.Out)
+	return nil
+}
+
 // CPALS runs the full CP-ALS decomposition with every MTTKRP executed
 // on the distributed runtime (one engine per mode, partitioned once).
 // The R×R normal-equation solves and column normalisations run
 // centrally — they are O(I·R²) work against the MTTKRP's O(nnz·R),
 // which is the standard practice the paper's distributed evaluation
-// follows (it measures MTTKRP time).
+// follows (it measures MTTKRP time). The sweep loop is the shared
+// internal/als core, so the trajectory matches cpd.CPALS bit for bit
+// when the kernels agree numerically.
 func CPALS(t *tensor.COO, cfg Config, opts CPOptions) (*CPResult, error) {
 	if opts.Rank <= 0 {
 		return nil, fmt.Errorf("dist: rank must be positive, got %d", opts.Rank)
@@ -85,90 +111,22 @@ func CPALS(t *tensor.COO, cfg Config, opts CPOptions) (*CPResult, error) {
 		engines[n] = eng
 	}
 
-	rng := rand.New(rand.NewSource(opts.Seed))
-	res := &CPResult{Lambda: make([]float64, r)}
-	grams := [3]*la.Matrix{}
-	for n := 0; n < 3; n++ {
-		m := la.NewMatrix(t.Dims[n], r)
-		for i := range m.Data {
-			m.Data[i] = rng.Float64()
-		}
-		res.Factors[n] = m
-		grams[n] = la.Gram(m)
+	res := &CPResult{}
+	ares, aerr := als.Run(&distKernel{dims: t.Dims[:], engines: engines, res: res}, als.Config{
+		Rank:      r,
+		MaxIters:  opts.MaxIters,
+		Tol:       opts.Tol,
+		Seed:      opts.Seed,
+		NormX:     math.Sqrt(t.NormSquared()),
+		ErrPrefix: "dist",
+	})
+	if ares == nil {
+		return nil, aerr
 	}
-
-	normX := math.Sqrt(t.NormSquared())
-	var lastMTTKRP *la.Matrix
-
-	prevFit := 0.0
-	for iter := 0; iter < opts.MaxIters; iter++ {
-		for n := 0; n < 3; n++ {
-			mp := engine.Modes[n]
-			dr, err := engines[n].Run(res.Factors[mp.BFactor], res.Factors[mp.CFactor])
-			if err != nil {
-				return res, err
-			}
-			res.ModeledSeconds += dr.ModeledSeconds
-			res.CommBytes += dr.Stats.TotalBytes()
-			if n == 2 {
-				lastMTTKRP = dr.Out
-			}
-			v := la.Hadamard(grams[mp.BFactor], grams[mp.CFactor])
-			res.Factors[n].CopyFrom(dr.Out)
-			if err := la.SolveSPD(v, res.Factors[n]); err != nil {
-				return res, fmt.Errorf("dist: mode-%d solve: %w", n+1, err)
-			}
-			copy(res.Lambda, la.NormalizeColumns(res.Factors[n]))
-			for q := 0; q < r; q++ {
-				if res.Lambda[q] == 0 {
-					for i := 0; i < res.Factors[n].Rows; i++ {
-						res.Factors[n].Set(i, q, rng.Float64())
-					}
-				}
-			}
-			grams[n] = la.Gram(res.Factors[n])
-		}
-
-		fit := distFit(normX, res, grams, lastMTTKRP)
-		res.Fits = append(res.Fits, fit)
-		res.Iters = iter + 1
-		if iter > 0 && math.Abs(fit-prevFit) < opts.Tol {
-			res.Converged = true
-			break
-		}
-		prevFit = fit
-	}
-	return res, nil
-}
-
-// distFit mirrors the shared-memory fit computation.
-func distFit(normX float64, res *CPResult, grams [3]*la.Matrix, lastMTTKRP *la.Matrix) float64 {
-	r := len(res.Lambda)
-	gAll := la.Hadamard(la.Hadamard(grams[0], grams[1]), grams[2])
-	var normM2 float64
-	for p := 0; p < r; p++ {
-		row := gAll.Row(p)
-		for q := 0; q < r; q++ {
-			normM2 += res.Lambda[p] * res.Lambda[q] * row[q]
-		}
-	}
-	if normM2 < 0 {
-		normM2 = 0
-	}
-	var inner float64
-	c := res.Factors[2]
-	for i := 0; i < c.Rows; i++ {
-		crow, mrow := c.Row(i), lastMTTKRP.Row(i)
-		for q := 0; q < r; q++ {
-			inner += res.Lambda[q] * crow[q] * mrow[q]
-		}
-	}
-	residual2 := normX*normX + normM2 - 2*inner
-	if residual2 < 0 {
-		residual2 = 0
-	}
-	if normX == 0 {
-		return 1
-	}
-	return 1 - math.Sqrt(residual2)/normX
+	res.Lambda = ares.Lambda
+	copy(res.Factors[:], ares.Factors)
+	res.Fits = ares.Fits
+	res.Iters = ares.Iters
+	res.Converged = ares.Converged
+	return res, aerr
 }

@@ -32,13 +32,34 @@ type ModeSpec struct {
 	CFactor int
 }
 
-// Modes is the single source of truth for the mode→(permutation,
-// operand order) mapping used by every decomposition driver.
-var Modes = [3]ModeSpec{
-	{Perm: [3]int{0, 1, 2}, BFactor: 1, CFactor: 2},
-	{Perm: [3]int{1, 0, 2}, BFactor: 0, CFactor: 2},
-	{Perm: [3]int{2, 0, 1}, BFactor: 0, CFactor: 1},
+// ModePerm is the order-N generalisation of the mode table: the
+// mode-rooted permutation for `mode` of an order-`order` tensor puts
+// the output mode first and keeps the remaining modes in ascending
+// order. The 3-entry Modes table is derived from it, and the order-N
+// engine uses it directly.
+func ModePerm(order, mode int) []int {
+	p := make([]int, 1, order)
+	p[0] = mode
+	for m := 0; m < order; m++ {
+		if m != mode {
+			p = append(p, m)
+		}
+	}
+	return p
 }
+
+// Modes is the single source of truth for the mode→(permutation,
+// operand order) mapping used by every third-order decomposition
+// driver: after the permutation, the mode-1 kernel's B and C operands
+// are the factors of the two trailing permuted modes.
+var Modes = func() [3]ModeSpec {
+	var specs [3]ModeSpec
+	for n := 0; n < 3; n++ {
+		p := ModePerm(3, n)
+		specs[n] = ModeSpec{Perm: [3]int{p[0], p[1], p[2]}, BFactor: p[1], CFactor: p[2]}
+	}
+	return specs
+}()
 
 // PermuteView returns a mode-permuted view of t that shares t's
 // coordinate and value storage: new mode m holds what old mode perm[m]

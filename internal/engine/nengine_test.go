@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"spblock/internal/core"
+	"spblock/internal/la"
+	"spblock/internal/nmode"
+	"spblock/internal/tensor"
+)
+
+// nOptionRows enumerates the N-mode configuration lattice: unblocked,
+// rank strips, an MB grid, and the combination — sequential and
+// parallel.
+func nOptionRows(order int) []nmode.Options {
+	grid := make([]int, order)
+	for m := range grid {
+		grid[m] = 1 + m%2 // {1,2,1,2,...}: asymmetric on purpose
+	}
+	grid[0] = 2
+	return []nmode.Options{
+		{Workers: 1},
+		{Workers: 3},
+		{RankBlockCols: 16, Workers: 1},
+		{Grid: grid, Workers: 2},
+		{Grid: grid, RankBlockCols: 16, Workers: 2},
+	}
+}
+
+// TestCrossOrderEquivalence is the generic-vs-reference matrix: an
+// order-3 tensor pushed through the generic N-mode executors (no
+// order-3 fast path) must agree with the order-3 dense reference for
+// every configuration row and every mode. This pins the generalised
+// CSF kernels to the same numbers the paper's third-order kernels
+// produce.
+func TestCrossOrderEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	dims := tensor.Dims{13, 11, 9}
+	x := randCOO(rng, dims, 300)
+	nt := tensor.ToNMode(x)
+	const rank = 33 // off the register-block width to hit tail paths
+	factors := make([]*la.Matrix, 3)
+	for m := 0; m < 3; m++ {
+		factors[m] = randMatrix(rng, dims[m], rank)
+	}
+	var want [3]*la.Matrix
+	for n := 0; n < 3; n++ {
+		pt, err := x.PermuteModes(Modes[n].Perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[n] = la.NewMatrix(dims[n], rank)
+		if err := core.Reference(pt, factors[Modes[n].BFactor], factors[Modes[n].CFactor], want[n]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, opts := range nOptionRows(3) {
+		eng, err := NewNEngineGeneric(nt, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		for n := 0; n < 3; n++ {
+			got := la.NewMatrix(dims[n], rank)
+			// Run twice: the second call exercises workspace reuse.
+			for rep := 0; rep < 2; rep++ {
+				if err := eng.Run(n, factors, got); err != nil {
+					t.Fatalf("%+v mode %d: %v", opts, n, err)
+				}
+			}
+			if d := got.MaxAbsDiff(want[n]); d > 1e-9 {
+				t.Fatalf("%+v mode %d: differs from order-3 reference by %v", opts, n, d)
+			}
+		}
+	}
+}
+
+// TestNEngineFastPathAgreesWithGeneric: the order-3 fast path and the
+// generic CSF path are the same mathematical operator.
+func TestNEngineFastPathAgreesWithGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	dims := tensor.Dims{12, 10, 8}
+	nt := tensor.ToNMode(randCOO(rng, dims, 250))
+	const rank = 17
+	factors := make([]*la.Matrix, 3)
+	for m := 0; m < 3; m++ {
+		factors[m] = randMatrix(rng, dims[m], rank)
+	}
+	for _, opts := range nOptionRows(3) {
+		fast, err := NewNEngine(nt, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		generic, err := NewNEngineGeneric(nt, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		for n := 0; n < 3; n++ {
+			a := la.NewMatrix(dims[n], rank)
+			b := la.NewMatrix(dims[n], rank)
+			if err := fast.Run(n, factors, a); err != nil {
+				t.Fatal(err)
+			}
+			if err := generic.Run(n, factors, b); err != nil {
+				t.Fatal(err)
+			}
+			if d := a.MaxAbsDiff(b); d > 1e-9 {
+				t.Fatalf("%+v mode %d: fast path differs from generic by %v", opts, n, d)
+			}
+		}
+	}
+}
+
+// TestNEngineHigherOrder pins the order-4 engine against the dense
+// oracle computed from the raw coordinates.
+func TestNEngineHigherOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	dims := []int{9, 8, 7, 6}
+	nt := nmode.NewTensor(dims, 400)
+	coords := make([]nmode.Index, 4)
+	for p := 0; p < 400; p++ {
+		for m, d := range dims {
+			coords[m] = nmode.Index(rng.Intn(d))
+		}
+		nt.Append(coords, rng.NormFloat64())
+	}
+	if _, err := nt.Dedup(); err != nil {
+		t.Fatal(err)
+	}
+	const rank = 21
+	factors := make([]*la.Matrix, 4)
+	for m := range dims {
+		factors[m] = randMatrix(rng, dims[m], rank)
+	}
+	// Dense oracle, straight off the COO data.
+	var want [4]*la.Matrix
+	for mode := range dims {
+		want[mode] = la.NewMatrix(dims[mode], rank)
+		for p := 0; p < nt.NNZ(); p++ {
+			row := want[mode].Row(int(nt.Idx[mode][p]))
+			for q := 0; q < rank; q++ {
+				v := nt.Val[p]
+				for m := range dims {
+					if m != mode {
+						v *= factors[m].At(int(nt.Idx[m][p]), q)
+					}
+				}
+				row[q] += v
+			}
+		}
+	}
+	for _, opts := range nOptionRows(4) {
+		eng, err := NewNEngine(nt, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		for mode := range dims {
+			got := la.NewMatrix(dims[mode], rank)
+			for rep := 0; rep < 2; rep++ {
+				if err := eng.Run(mode, factors, got); err != nil {
+					t.Fatalf("%+v mode %d: %v", opts, mode, err)
+				}
+			}
+			if d := got.MaxAbsDiff(want[mode]); d > 1e-9 {
+				t.Fatalf("%+v mode %d: differs from oracle by %v", opts, mode, d)
+			}
+		}
+	}
+}
+
+// TestNEngineValidation covers construction and Run errors.
+func TestNEngineValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	nt := tensor.ToNMode(randCOO(rng, tensor.Dims{6, 5, 4}, 40))
+	if _, err := NewNEngine(nt, nmode.Options{}, 3); err == nil {
+		t.Error("mode 3 accepted")
+	}
+	if _, err := NewNEngine(nt, nmode.Options{Grid: []int{2, 2}}); err == nil {
+		t.Error("short grid accepted on the fast path")
+	}
+	if _, err := NewNEngineGeneric(nt, nmode.Options{Grid: []int{2, 2}}); err == nil {
+		t.Error("short grid accepted on the generic path")
+	}
+	eng, err := NewNEngineGeneric(nt, nmode.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Order() != 3 || len(eng.Dims()) != 3 {
+		t.Fatalf("accessors: order=%d dims=%v", eng.Order(), eng.Dims())
+	}
+	factors := []*la.Matrix{nil, nil, randMatrix(rng, 4, 8)}
+	factors[0] = randMatrix(rng, 6, 8)
+	if err := eng.Run(1, factors, la.NewMatrix(5, 8)); err != nil {
+		t.Errorf("requested mode rejected: %v", err)
+	}
+	if err := eng.Run(0, factors, la.NewMatrix(6, 8)); err == nil {
+		t.Error("unrequested mode accepted")
+	}
+	if err := eng.Run(5, factors, la.NewMatrix(6, 8)); err == nil {
+		t.Error("out-of-range mode accepted")
+	}
+	if err := eng.Run(1, factors[:2], la.NewMatrix(5, 8)); err == nil {
+		t.Error("short factor list accepted")
+	}
+}

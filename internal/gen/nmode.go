@@ -1,0 +1,217 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spblock/internal/nmode"
+)
+
+// PoissonNParams generalises PoissonParams to arbitrary order: the
+// same Chi & Kolda generative sampler, with one categorical
+// distribution per mode per component.
+type PoissonNParams struct {
+	Dims []int
+	// Events is the number of sampled index tuples; the resulting nnz
+	// is slightly lower because collisions merge into counts.
+	Events int
+	// Components is the generative rank C. Defaults to 16 when zero.
+	Components int
+	// Spread controls how concentrated each component's per-mode
+	// distribution is. Defaults to 0.25 when zero.
+	Spread float64
+}
+
+// PoissonN generates an order-N count tensor. The result is
+// deduplicated (values are event counts) and sorted.
+func PoissonN(p PoissonNParams, seed int64) (*nmode.Tensor, error) {
+	n := len(p.Dims)
+	if err := validateDimsN(p.Dims); err != nil {
+		return nil, err
+	}
+	if p.Events <= 0 {
+		return nil, fmt.Errorf("gen: Events must be positive, got %d", p.Events)
+	}
+	comp := p.Components
+	if comp <= 0 {
+		comp = 16
+	}
+	spread := p.Spread
+	if spread <= 0 {
+		spread = 0.25
+	}
+	if spread > 1 {
+		spread = 1
+	}
+
+	setup := newRand(seed, 1)
+	lambda := make([]float64, comp)
+	for c := range lambda {
+		lambda[c] = setup.ExpFloat64() + 0.1
+	}
+	compDist := NewCategorical(lambda)
+
+	modeDist := make([][]*Categorical, comp)
+	for c := 0; c < comp; c++ {
+		modeDist[c] = make([]*Categorical, n)
+		for m := 0; m < n; m++ {
+			modeDist[c][m] = componentModeDist(setup, p.Dims[m], spread)
+		}
+	}
+
+	draw := newRand(seed, 2)
+	t := nmode.NewTensor(p.Dims, p.Events)
+	coords := make([]nmode.Index, n)
+	for e := 0; e < p.Events; e++ {
+		c := compDist.Sample(draw)
+		for m := 0; m < n; m++ {
+			coords[m] = nmode.Index(modeDist[c][m].Sample(draw))
+		}
+		t.Append(coords, 1)
+	}
+	if _, err := t.Dedup(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ClusteredNParams generalises ClusteredParams to arbitrary order:
+// dense axis-aligned sub-boxes over a Zipf background, per mode.
+type ClusteredNParams struct {
+	Dims []int
+	// NNZ is the target number of distinct nonzeros.
+	NNZ int
+	// Clusters is the number of dense sub-boxes. Defaults to 64.
+	Clusters int
+	// ClusterFrac is the fraction of nonzeros placed inside clusters.
+	// Defaults to 0.6.
+	ClusterFrac float64
+	// ClusterSide scales cluster box side lengths relative to the mode
+	// length; side = max(4, ClusterSide * mode length). Defaults to 0.02.
+	ClusterSide float64
+	// ZipfS is the background power-law exponent per mode. Defaults to 1.1.
+	ZipfS float64
+}
+
+// ClusteredN generates a deduplicated order-N tensor with the
+// configured dense sub-structure.
+func ClusteredN(p ClusteredNParams, seed int64) (*nmode.Tensor, error) {
+	n := len(p.Dims)
+	if err := validateDimsN(p.Dims); err != nil {
+		return nil, err
+	}
+	if p.NNZ <= 0 {
+		return nil, fmt.Errorf("gen: NNZ must be positive, got %d", p.NNZ)
+	}
+	clusters := p.Clusters
+	if clusters <= 0 {
+		clusters = 64
+	}
+	frac := p.ClusterFrac
+	if frac <= 0 {
+		frac = 0.6
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	side := p.ClusterSide
+	if side <= 0 {
+		side = 0.02
+	}
+	zipfS := p.ZipfS
+	if zipfS <= 0 {
+		zipfS = 1.1
+	}
+
+	setup := newRand(seed, 3)
+	boxes := make([][][2]int, clusters)
+	weights := make([]float64, clusters)
+	for c := 0; c < clusters; c++ {
+		boxes[c] = make([][2]int, n)
+		for m := 0; m < n; m++ {
+			w := int(side * float64(p.Dims[m]))
+			if w < 4 {
+				w = 4
+			}
+			if w > p.Dims[m] {
+				w = p.Dims[m]
+			}
+			lo := 0
+			if p.Dims[m] > w {
+				lo = setup.Intn(p.Dims[m] - w)
+			}
+			boxes[c][m] = [2]int{lo, lo + w}
+		}
+		weights[c] = setup.ExpFloat64() + 0.2
+	}
+	boxDist := NewCategorical(weights)
+
+	bg := make([]*Categorical, n)
+	for m := 0; m < n; m++ {
+		bg[m] = NewCategorical(PowerLawWeights(p.Dims[m], zipfS, SubSeed(seed, 10+m)))
+	}
+
+	draw := newRand(seed, 4)
+	events := p.NNZ + p.NNZ/4 + 16
+	t := nmode.NewTensor(p.Dims, events)
+	coords := make([]nmode.Index, n)
+	for e := 0; e < events; e++ {
+		if draw.Float64() < frac {
+			b := boxes[boxDist.Sample(draw)]
+			for m := 0; m < n; m++ {
+				coords[m] = nmode.Index(b[m][0] + draw.Intn(b[m][1]-b[m][0]))
+			}
+		} else {
+			for m := 0; m < n; m++ {
+				coords[m] = nmode.Index(bg[m].Sample(draw))
+			}
+		}
+		t.Append(coords, 1)
+	}
+	if _, err := t.Dedup(); err != nil {
+		return nil, err
+	}
+	trimToN(t, p.NNZ, draw)
+	return t, nil
+}
+
+func validateDimsN(dims []int) error {
+	if len(dims) < 2 {
+		return fmt.Errorf("gen: order-%d shape needs at least 2 modes", len(dims))
+	}
+	for m, d := range dims {
+		if d <= 0 {
+			return fmt.Errorf("gen: invalid dims %v (mode %d)", dims, m)
+		}
+	}
+	return nil
+}
+
+// trimToN removes random entries until the tensor holds at most target
+// nonzeros, keeping the sorted order.
+func trimToN(t *nmode.Tensor, target int, rng *rand.Rand) {
+	excess := t.NNZ() - target
+	if excess <= 0 {
+		return
+	}
+	n := t.NNZ()
+	victims := make(map[int]bool, excess)
+	for len(victims) < excess {
+		victims[rng.Intn(n)] = true
+	}
+	w := 0
+	for p := 0; p < n; p++ {
+		if victims[p] {
+			continue
+		}
+		for m := range t.Idx {
+			t.Idx[m][w] = t.Idx[m][p]
+		}
+		t.Val[w] = t.Val[p]
+		w++
+	}
+	for m := range t.Idx {
+		t.Idx[m] = t.Idx[m][:w]
+	}
+	t.Val = t.Val[:w]
+}

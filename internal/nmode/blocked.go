@@ -122,13 +122,14 @@ func (bt *BlockedTensor) MTTKRP(factors []*la.Matrix, out *la.Matrix, opts Optio
 	}
 	out.Zero()
 
+	wk := newWalkerBufs(n, r)
 	run := func(fs []*la.Matrix, o *la.Matrix) {
 		for _, blk := range bt.Blocks {
 			if blk == nil {
 				continue
 			}
-			w := newWalker(blk, fs, o)
-			w.roots(0, blk.NumNodes(0))
+			wk.bind(blk, fs, o)
+			wk.roots(0, blk.NumNodes(0))
 		}
 	}
 

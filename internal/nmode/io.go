@@ -2,12 +2,18 @@ package nmode
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
 )
+
+// ErrNoData reports an input with neither data lines nor a dims
+// comment, so the order is unknowable. Adapters with a fixed order
+// (tensor.ReadTNS) match it to substitute an empty tensor.
+var ErrNoData = errors.New("nmode: empty input with no dims comment")
 
 // ReadTNS parses a FROSTT-style text tensor of any order: each line is
 // N 1-based coordinates followed by a value; blank lines and '#'
@@ -90,7 +96,7 @@ func ReadTNS(r io.Reader) (*Tensor, error) {
 			}
 			return t, nil
 		}
-		return nil, fmt.Errorf("nmode: empty input with no dims comment")
+		return nil, ErrNoData
 	}
 	if declared != nil {
 		if len(declared) != t.Order() {

@@ -16,6 +16,11 @@ type Options struct {
 	RankBlockCols int
 	// Workers is the parallelism degree over root slices (0 = GOMAXPROCS).
 	Workers int
+	// Grid requests multi-dimensional blocking (Sec. V-A) with one entry
+	// per mode; nil or all-ones means unblocked. Entries are clamped to
+	// [1, dim]. Only Executor and the engine layer honour it — the
+	// one-shot MTTKRP below operates on an already-built tree.
+	Grid []int
 }
 
 // MTTKRP computes the mode-ModeOrder[0] matricised tensor times
@@ -146,6 +151,10 @@ func runOverRoots(c *CSF, factors []*la.Matrix, out *la.Matrix, _ int, workers i
 // walker carries the per-goroutine DFS state: one accumulator buffer
 // per internal tree level (bufs[d] holds the running value of the
 // current level-d node, the N-mode generalisation of Algorithm 1's s).
+//
+// A walker owns only its accumulators; the tree and operands are bound
+// per use, so a pooled walker can serve many trees (blocked layouts)
+// and many rank strips without reallocating.
 type walker struct {
 	c       *CSF
 	factors []*la.Matrix
@@ -154,13 +163,27 @@ type walker struct {
 	width   int
 }
 
-func newWalker(c *CSF, factors []*la.Matrix, out *la.Matrix) *walker {
-	n := c.Order()
-	w := &walker{c: c, factors: factors, out: out, width: out.Cols}
-	w.bufs = make([][]float64, n-1)
+// newWalkerBufs allocates the accumulators for an order-`order` tree at
+// up to `rank` columns; bind narrows the active width per use.
+func newWalkerBufs(order, rank int) *walker {
+	w := &walker{}
+	w.bufs = make([][]float64, order-1)
 	for d := range w.bufs {
-		w.bufs[d] = make([]float64, w.width)
+		w.bufs[d] = make([]float64, rank)
 	}
+	return w
+}
+
+// bind points the walker at a tree and operand set. out.Cols must not
+// exceed the rank the accumulators were sized for.
+func (w *walker) bind(c *CSF, factors []*la.Matrix, out *la.Matrix) {
+	w.c, w.factors, w.out = c, factors, out
+	w.width = out.Cols
+}
+
+func newWalker(c *CSF, factors []*la.Matrix, out *la.Matrix) *walker {
+	w := newWalkerBufs(c.Order(), out.Cols)
+	w.bind(c, factors, out)
 	return w
 }
 
@@ -178,7 +201,7 @@ func (w *walker) roots(lo, hi int) {
 // node fills bufs[d] with the subtree value of the given level-d node:
 // Σ over leaves below of val · ⊙_{levels e>d} U_{m_e}[id_e].
 func (w *walker) node(d int, nd int32) {
-	buf := w.bufs[d]
+	buf := w.bufs[d][:w.width]
 	clear(buf)
 	c := w.c
 	n := c.Order()

@@ -1,0 +1,5 @@
+//go:build !race
+
+package nmode
+
+const raceEnabled = false

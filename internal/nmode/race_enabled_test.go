@@ -1,0 +1,8 @@
+//go:build race
+
+package nmode
+
+// raceEnabled reports that this test binary runs under the race
+// detector, whose instrumentation allocates on its own and would make
+// AllocsPerRun assertions meaningless.
+const raceEnabled = true

@@ -1,0 +1,193 @@
+package nmode
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"spblock/internal/la"
+)
+
+// nworkspace owns every buffer the N-mode kernels touch beyond the
+// caller's operands, mirroring internal/core's workspace discipline: a
+// CP-ALS decomposition calls MTTKRP 10-1000s of times, and the one-shot
+// MTTKRP's per-call makes (packed factor strips, per-worker DFS
+// accumulators, goroutine closures) turn into allocator pressure and GC
+// noise on every sweep and every autotuner measurement.
+//
+// Worker-count-dependent state (root shares, the worker closures) is
+// built once in NewExecutor; rank-dependent buffers (walkers, packed
+// strips) are sized lazily on the first Run and rebuilt only when the
+// rank changes. Ownership rule: everything here belongs to exactly one
+// Executor, which must not Run concurrently with itself.
+type nworkspace struct {
+	// rank the rank-dependent buffers are sized for (0 = never sized).
+	rank int
+
+	// runners are the prebuilt worker bodies; empty when the plan
+	// resolves to sequential execution.
+	runners []func()
+	wg      sync.WaitGroup
+
+	// Operand state of the in-flight Run (or strip), published before
+	// the workers launch and joined before it changes.
+	factors []*la.Matrix
+	out     *la.Matrix
+	// nextLayer is the blocked-path work queue: workers claim root-mode
+	// layers by atomic increment.
+	nextLayer atomic.Int64
+
+	// shares are the root-slice ranges of each worker on the unblocked
+	// path, balanced by leaf count (computed once — they depend only on
+	// the tree and the worker count).
+	shares [][2]int
+
+	// walkers holds one DFS accumulator set per worker (index 0 serves
+	// the sequential path).
+	walkers []*walker
+
+	// Packed rank-strip buffers (Sec. V-B "stacked strips"), one per
+	// non-root mode, plus reusable view headers and the factor-pointer
+	// slice handed to the walkers during strips.
+	packed []*la.Matrix
+	views  []la.Matrix
+	pf     []*la.Matrix
+	oPack  *la.Matrix
+	oView  la.Matrix
+}
+
+// ensure sizes the rank-dependent buffers for rank r. No-op when the
+// rank is unchanged, which is the steady state of a decomposition.
+func (e *Executor) ensure(r int) {
+	ws := &e.ws
+	if ws.rank == r {
+		return
+	}
+	ws.rank = r
+	nw := max(len(ws.runners), 1)
+	ws.walkers = ws.walkers[:0]
+	for w := 0; w < nw; w++ {
+		ws.walkers = append(ws.walkers, newWalkerBufs(e.order, r))
+	}
+	if bs := e.opts.RankBlockCols; bs > 0 && bs < r {
+		if ws.packed == nil {
+			ws.packed = make([]*la.Matrix, e.order)
+			ws.views = make([]la.Matrix, e.order)
+			ws.pf = make([]*la.Matrix, e.order)
+		}
+		for m := 0; m < e.order; m++ {
+			if m == e.mode {
+				ws.packed[m] = nil
+				continue
+			}
+			ws.packed[m] = la.NewMatrix(e.dims[m], bs)
+		}
+		ws.oPack = la.NewMatrix(e.dims[e.mode], bs)
+	}
+}
+
+// launch runs every worker body and waits. The closures were built in
+// NewExecutor and goroutine descriptors are recycled by the runtime, so
+// a steady-state launch does not allocate.
+func (ws *nworkspace) launch() {
+	ws.wg.Add(len(ws.runners))
+	for _, fn := range ws.runners {
+		go fn()
+	}
+	ws.wg.Wait()
+}
+
+// initRunners builds the worker closures once, after the tree
+// structures exist. Runners are only built when the plan resolves to
+// more than one effective worker; otherwise Run takes the inline
+// sequential paths.
+func (e *Executor) initRunners() {
+	ws := &e.ws
+	workers := e.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if e.blocked != nil {
+		if workers > len(e.layers) {
+			workers = len(e.layers)
+		}
+		if workers <= 1 {
+			return
+		}
+		layers := int64(len(e.layers))
+		for w := 0; w < workers; w++ {
+			w := w
+			ws.runners = append(ws.runners, func() {
+				defer ws.wg.Done()
+				wk := ws.walkers[w]
+				for {
+					li := ws.nextLayer.Add(1) - 1
+					if li >= layers {
+						return
+					}
+					for _, blk := range e.layers[li] {
+						wk.bind(blk, ws.factors, ws.out)
+						wk.roots(0, blk.NumNodes(0))
+					}
+				}
+			})
+		}
+		return
+	}
+	ws.shares = rootShares(e.csf, workers)
+	if len(ws.shares) <= 1 {
+		ws.shares = nil
+		return
+	}
+	for w := range ws.shares {
+		w := w
+		ws.runners = append(ws.runners, func() {
+			defer ws.wg.Done()
+			sh := ws.shares[w]
+			wk := ws.walkers[w]
+			wk.bind(e.csf, ws.factors, ws.out)
+			wk.roots(sh[0], sh[1])
+		})
+	}
+}
+
+// rootShares splits the root slices into at most `workers` contiguous
+// ranges balanced by leaf (nonzero) count — distinct roots own distinct
+// output rows, so ranges are race-free. Returns nil when one worker
+// suffices.
+func rootShares(c *CSF, workers int) [][2]int {
+	roots := c.NumNodes(0)
+	if workers > roots {
+		workers = roots
+	}
+	if workers <= 1 || roots == 0 {
+		return nil
+	}
+	n := c.Order()
+	// end[x] = leaves under roots [0, x], by composing the child
+	// pointers level by level (subtrees are contiguous at every level).
+	end := make([]int64, roots)
+	for x := 0; x < roots; x++ {
+		p := int32(x + 1)
+		for d := 0; d < n-1; d++ {
+			p = c.Ptr[d][p]
+		}
+		end[x] = int64(p)
+	}
+	total := end[roots-1]
+	shares := make([][2]int, 0, workers)
+	lo := 0
+	for w := 1; w <= workers && lo < roots; w++ {
+		target := total * int64(w) / int64(workers)
+		hi := lo + 1
+		for hi < roots && end[hi-1] < target {
+			hi++
+		}
+		shares = append(shares, [2]int{lo, hi})
+		lo = hi
+	}
+	if len(shares) <= 1 {
+		return nil
+	}
+	return shares
+}

@@ -1,85 +1,39 @@
 package tensor
 
 import (
-	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
+
+	"spblock/internal/nmode"
 )
 
 // ReadTNS parses a FROSTT-style text tensor: one nonzero per line as
 // "i j k value" with 1-based coordinates, blank lines and '#' comments
 // ignored. Mode lengths are the maximum coordinate seen unless a
 // comment of the form "# dims: I J K" declares them.
+//
+// Parsing is delegated to the order-N reader in internal/nmode (the
+// canonical TNS parser); this adapter fixes the order at 3 and converts
+// zero-copy. Empty input with no dims comment — where the order is
+// unknowable — is legal here because the order is pinned: it yields an
+// empty 1x1x1 tensor.
 func ReadTNS(r io.Reader) (*COO, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	t := NewCOO(Dims{1, 1, 1}, 1024)
-	var declared *Dims
-	line := 0
-	var maxI, maxJ, maxK Index
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
+	nt, err := nmode.ReadTNS(r)
+	if err != nil {
+		if errors.Is(err, nmode.ErrNoData) {
+			return NewCOO(Dims{1, 1, 1}, 0), nil
 		}
-		if strings.HasPrefix(text, "#") {
-			if rest, ok := strings.CutPrefix(text, "# dims:"); ok {
-				var d Dims
-				if _, err := fmt.Sscan(rest, &d[0], &d[1], &d[2]); err != nil {
-					return nil, fmt.Errorf("tensor: line %d: bad dims comment: %w", line, err)
-				}
-				declared = &d
-			}
-			continue
-		}
-		fields := strings.Fields(text)
-		if len(fields) != 4 {
-			return nil, fmt.Errorf("tensor: line %d: want 4 fields (i j k val), got %d", line, len(fields))
-		}
-		var coord [3]int64
-		for m := 0; m < 3; m++ {
-			v, err := strconv.ParseInt(fields[m], 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("tensor: line %d: bad coordinate %q: %w", line, fields[m], err)
-			}
-			if v < 1 {
-				return nil, fmt.Errorf("tensor: line %d: coordinates are 1-based, got %d", line, v)
-			}
-			if v > 1<<31-1 {
-				return nil, fmt.Errorf("tensor: line %d: coordinate %d exceeds int32 range", line, v)
-			}
-			coord[m] = v
-		}
-		val, err := strconv.ParseFloat(fields[3], 64)
-		if err != nil {
-			return nil, fmt.Errorf("tensor: line %d: bad value %q: %w", line, fields[3], err)
-		}
-		i, j, k := Index(coord[0]-1), Index(coord[1]-1), Index(coord[2]-1)
-		if i+1 > maxI {
-			maxI = i + 1
-		}
-		if j+1 > maxJ {
-			maxJ = j + 1
-		}
-		if k+1 > maxK {
-			maxK = k + 1
-		}
-		t.Append(i, j, k, val)
+		return nil, err
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("tensor: read: %w", err)
+	if nt.Order() != 3 {
+		return nil, fmt.Errorf("%w: order-%d data where third order is required",
+			ErrBadTensor, nt.Order())
 	}
-	if declared != nil {
-		t.Dims = *declared
-	} else {
-		t.Dims = Dims{int(maxI), int(maxJ), int(maxK)}
-		if t.NNZ() == 0 {
-			t.Dims = Dims{1, 1, 1}
-		}
+	t, err := FromNMode(nt)
+	if err != nil {
+		return nil, err
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err
@@ -88,20 +42,10 @@ func ReadTNS(r io.Reader) (*COO, error) {
 }
 
 // WriteTNS writes the tensor in FROSTT text form with a dims comment so
-// trailing empty slices survive a round trip.
+// trailing empty slices survive a round trip. The order-N writer does
+// the formatting over a zero-copy view.
 func WriteTNS(w io.Writer, t *COO) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "# dims: %d %d %d\n", t.Dims[0], t.Dims[1], t.Dims[2]); err != nil {
-		return err
-	}
-	for p := 0; p < t.NNZ(); p++ {
-		if _, err := fmt.Fprintf(bw, "%d %d %d %s\n",
-			t.I[p]+1, t.J[p]+1, t.K[p]+1,
-			strconv.FormatFloat(t.Val[p], 'g', -1, 64)); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	return nmode.WriteTNS(w, ToNMode(t))
 }
 
 // LoadTNSFile reads a tensor from a file path.

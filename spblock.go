@@ -95,8 +95,16 @@ type (
 	TensorN = nmode.Tensor
 	// CSFN is the order-N compressed-sparse-fiber tree.
 	CSFN = nmode.CSF
-	// OptionsN configures the order-N MTTKRP (rank strips, workers).
+	// OptionsN configures the order-N MTTKRP (rank strips, workers, MB
+	// grid).
 	OptionsN = nmode.Options
+	// ExecutorN owns preprocessed structures and a pooled workspace for
+	// repeated MTTKRP products over one mode of an order-N tensor.
+	ExecutorN = nmode.Executor
+	// MultiExecutorN is the order-N MultiExecutor: one cached
+	// mode-rooted executor per mode of an arbitrary-order tensor, with
+	// third-order inputs served by the order-3 fast path.
+	MultiExecutorN = engine.NEngine
 	// CPNOptions configures an order-N CP-ALS decomposition.
 	CPNOptions = cpd.NOptions
 	// CPNResult is a fitted order-N Kruskal tensor.
@@ -221,12 +229,31 @@ func SaveTNSN(path string, t *TensorN) error { return nmode.SaveTNSFile(path, t)
 // puts mode 0 at the root with the remaining modes short-to-long.
 func BuildCSFN(t *TensorN, modeOrder []int) (*CSFN, error) { return nmode.Build(t, modeOrder) }
 
-// MTTKRPN computes the order-N MTTKRP for the CSF tree's root mode.
+// MTTKRPN computes the order-N MTTKRP for the CSF tree's root mode,
+// one shot over an already-built tree. For repeated products prefer
+// NewExecutorN / NewMultiExecutorN, whose pooled workspaces make
+// steady-state calls allocation-free.
 func MTTKRPN(c *CSFN, factors []*Matrix, out *Matrix, opts OptionsN) error {
 	return nmode.MTTKRP(c, factors, out, opts)
 }
 
-// CPALSN decomposes an order-N tensor with alternating least squares.
+// NewExecutorN preprocesses one mode of an order-N tensor (CSF build,
+// optional MB blocking per opts.Grid) for repeated MTTKRP products.
+func NewExecutorN(t *TensorN, mode int, opts OptionsN) (*ExecutorN, error) {
+	return nmode.NewExecutor(t, mode, opts)
+}
+
+// NewMultiExecutorN builds executors for the requested modes (default:
+// all) of an order-N tensor — the arbitrary-order counterpart of
+// NewMultiExecutor. Third-order tensors are served by the order-3
+// kernel families (SPLATT/MB/RankB per opts); higher orders run on the
+// pooled N-mode CSF executors.
+func NewMultiExecutorN(t *TensorN, opts OptionsN, modes ...int) (*MultiExecutorN, error) {
+	return engine.NewNEngine(t, opts, modes...)
+}
+
+// CPALSN decomposes an order-N tensor with alternating least squares
+// on the unified engine; the sweep loop is shared with CPALS.
 func CPALSN(t *TensorN, opts CPNOptions) (*CPNResult, error) { return cpd.CPALSN(t, opts) }
 
 // Datasets returns the Table II data-set registry names.
