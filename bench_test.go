@@ -187,8 +187,8 @@ func benchKernelN(b *testing.B, opts spblock.OptionsN) {
 		b.Fatal(err)
 	}
 	flops := int64(x.Order()-1) * int64(out.Cols) * int64(x.NNZ())
-	b.SetBytes(flops)                             // reported "MB/s" is really MFLOP/s x 1e-6
-	b.ReportAllocs()                              // steady-state Run must stay at 0 allocs/op
+	b.SetBytes(flops)                              // reported "MB/s" is really MFLOP/s x 1e-6
+	b.ReportAllocs()                               // steady-state Run must stay at 0 allocs/op
 	if err := exec.Run(factors, out); err != nil { // warm-up sizes the workspace
 		b.Fatal(err)
 	}

@@ -1,0 +1,86 @@
+// Command spblock-lint runs the spblock static-analysis suite — the
+// compile-time guards for the hot-path zero-allocation and
+// workspace-ownership contracts plus parallel-kernel hygiene — over the
+// requested packages.
+//
+// Usage:
+//
+//	spblock-lint [-analyzers list] [packages]
+//
+// Packages default to ./... relative to the current directory. The
+// exit status is 1 when any diagnostic is reported, 2 on usage or load
+// errors. Diagnostics on lines carrying a reasoned //spblock:allow
+// comment are suppressed; see internal/analysis for the annotation
+// conventions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spblock/internal/analysis"
+	"spblock/internal/analysis/hotpathalloc"
+	"spblock/internal/analysis/kernelpar"
+	"spblock/internal/analysis/workspaceescape"
+)
+
+var all = []*analysis.Analyzer{
+	hotpathalloc.Analyzer,
+	workspaceescape.Analyzer,
+	kernelpar.Analyzer,
+}
+
+func main() {
+	names := flag.String("analyzers", "",
+		"comma-separated subset of analyzers to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: spblock-lint [flags] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *names != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*names, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "spblock-lint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	prog, err := analysis.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spblock-lint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(prog, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spblock-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: [%s] %s\n", prog.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

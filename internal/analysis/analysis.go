@@ -1,0 +1,255 @@
+// Package analysis is the spblock static-analysis framework: a small,
+// dependency-free reimplementation of the go/analysis driver shape
+// (golang.org/x/tools is deliberately not vendored) plus the annotation
+// conventions the spblock analyzers enforce.
+//
+// The framework loads whole programs (see load.go), hands each analyzer
+// a *Program with full type information and program-wide object
+// identity, and applies the shared `//spblock:allow` suppression pass
+// to every diagnostic. The three production analyzers live in the
+// hotpathalloc, workspaceescape and kernelpar subpackages and are wired
+// together by cmd/spblock-lint.
+//
+// # Annotations
+//
+// Annotations are machine-readable comment directives placed directly
+// above a declaration (no blank line in between), in the style of
+// //go:noinline:
+//
+//	//spblock:hotpath
+//	    Marks a function as a steady-state hot path. The function and
+//	    everything it statically calls within the module must not
+//	    contain allocating constructs (enforced by hotpathalloc).
+//
+//	//spblock:coldpath
+//	    Marks a function as excluded from the hot-path contract even
+//	    when it is called from a hot function: amortised resizing
+//	    (Executor.ensure), operand validation that allocates only on
+//	    the error path, and debug-build validators. hotpathalloc stops
+//	    its call-graph traversal at coldpath functions.
+//
+//	//spblock:workspace
+//	    Marks a type as pooled-workspace storage. Values reached
+//	    through a workspace must not escape the owning executor
+//	    (enforced by workspaceescape).
+//
+//	//spblock:allow <reason>
+//	    Trailing same-line comment that suppresses every diagnostic
+//	    reported on that line. The reason is mandatory; a bare allow is
+//	    itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Directive names understood by the suite.
+const (
+	DirectiveHotpath   = "hotpath"
+	DirectiveColdpath  = "coldpath"
+	DirectiveWorkspace = "workspace"
+	DirectiveAllow     = "allow"
+)
+
+const directivePrefix = "//spblock:"
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Analyzer is one whole-program check. Run receives the loaded program
+// and returns raw diagnostics; the driver applies suppression and
+// attribution.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Program) ([]Diagnostic, error)
+}
+
+// Package is one type-checked module package.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// FuncSource locates the syntax of a function whose body the program
+// contains.
+type FuncSource struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+}
+
+// Program is a load result: every package of the enclosing module that
+// the requested patterns (transitively) reach, type-checked from source
+// against one shared FileSet, so *types.Func identity holds across
+// package boundaries.
+type Program struct {
+	Fset *token.FileSet
+	// Packages holds all module-local packages in dependency order.
+	Packages []*Package
+	// Roots holds the pattern-matched packages (a subset of Packages).
+	Roots []*Package
+
+	byPath map[string]*Package
+	funcs  map[*types.Func]*FuncSource
+	// allows maps "file:line" to the allow-comment reason ("" = bare).
+	allows map[string]string
+	// bareAllows collects positions of reason-less allow comments.
+	bareAllows []token.Pos
+}
+
+// Package returns the module package with the given import path, or nil.
+func (p *Program) Package(path string) *Package { return p.byPath[path] }
+
+// FuncSource returns the declaration of fn if its body is part of the
+// program, or nil for external (std-lib or bodiless) functions.
+func (p *Program) FuncSource(fn *types.Func) *FuncSource { return p.funcs[fn] }
+
+// Position resolves a token position against the program's FileSet.
+func (p *Program) Position(pos token.Pos) token.Position { return p.Fset.Position(pos) }
+
+// index builds the program-wide function and suppression indexes; the
+// loader calls it once after type checking.
+func (p *Program) index() {
+	p.funcs = make(map[*types.Func]*FuncSource)
+	p.allows = make(map[string]string)
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					p.funcs[fn] = &FuncSource{Pkg: pkg, Decl: fd}
+				}
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					arg, ok := parseDirective(c.Text, DirectiveAllow)
+					if !ok {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					if strings.TrimSpace(arg) == "" {
+						p.bareAllows = append(p.bareAllows, c.Pos())
+						continue
+					}
+					p.allows[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = arg
+				}
+			}
+		}
+	}
+}
+
+// allowed reports whether a diagnostic at pos is suppressed by a
+// reasoned //spblock:allow comment on the same line.
+func (p *Program) allowed(pos token.Pos) bool {
+	tp := p.Fset.Position(pos)
+	_, ok := p.allows[fmt.Sprintf("%s:%d", tp.Filename, tp.Line)]
+	return ok
+}
+
+// parseDirective matches "//spblock:<name>" optionally followed by
+// whitespace and an argument; it returns the argument text.
+func parseDirective(text, name string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, directivePrefix+name)
+	if !ok {
+		return "", false
+	}
+	if rest == "" {
+		return "", true
+	}
+	if rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // a longer directive name, e.g. hotpathfoo
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// HasDirective reports whether the doc comment carries the directive.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if _, ok := parseDirective(c.Text, name); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Callee resolves a statically-dispatched call to its *types.Func:
+// direct calls of named functions and methods. It returns nil for
+// builtins, conversions, and calls through function values or
+// interfaces.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return nil // conversion
+	}
+	var obj types.Object
+	switch f := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[f]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[f.Sel] // package-qualified function
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// Run executes the analyzers over the program, attributes and filters
+// the diagnostics (dropping suppressed lines, reporting bare allow
+// comments), and returns them in position order.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		ds, err := a.Run(prog)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for _, d := range ds {
+			if d.Analyzer == "" {
+				d.Analyzer = a.Name
+			}
+			if prog.allowed(d.Pos) {
+				continue
+			}
+			all = append(all, d)
+		}
+	}
+	for _, pos := range prog.bareAllows {
+		all = append(all, Diagnostic{
+			Pos:      pos,
+			Message:  "//spblock:allow requires a reason",
+			Analyzer: "spblock-lint",
+		})
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		pi, pj := prog.Position(all[i].Pos), prog.Position(all[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return all, nil
+}

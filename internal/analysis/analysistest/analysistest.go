@@ -1,0 +1,125 @@
+// Package analysistest runs an analyzer over a golden package and
+// matches its diagnostics against `// want` comments, in the style of
+// golang.org/x/tools' package of the same name (rebuilt here on the
+// stdlib-only loader so the module stays dependency-free).
+//
+// A golden file marks each expected diagnostic with a trailing comment
+// on the offending line:
+//
+//	buf := make([]float64, n) // want `make allocates`
+//
+// The comment holds one or more Go-quoted regular expressions; each
+// must match at least one diagnostic reported on that line, and every
+// diagnostic on the line must match at least one expectation. A
+// diagnostic on a line with no want comment, or a want comment whose
+// line stays silent, fails the test — the goldens prove both "no false
+// negatives" and "no false positives" per seeded case.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"spblock/internal/analysis"
+)
+
+// wantRe extracts the expectation list from a comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the package named by pattern (a module import path such as
+// spblock/internal/analysis/testdata/src/hotpathalloc — testdata
+// directories are loadable when named explicitly), runs the analyzers,
+// and matches diagnostics against the package's want comments.
+func Run(t *testing.T, pattern string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	prog, err := analysis.Load("", pattern)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	diags, err := analysis.Run(prog, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	// Collect expectations keyed by "file:line".
+	wants := make(map[string][]*expectation)
+	for _, pkg := range prog.Roots {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					exps, err := parseWants(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want comment: %v", key, err)
+					}
+					wants[key] = append(wants[key], exps...)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := prog.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		exps := wants[key]
+		found := false
+		for _, e := range exps {
+			if e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s: no diagnostic matching %q", key, e.re)
+			}
+		}
+	}
+}
+
+// parseWants splits a want payload into its quoted regexps.
+func parseWants(s string) ([]*expectation, error) {
+	var exps []*expectation
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		s = s[len(q):]
+		pat, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, err
+		}
+		exps = append(exps, &expectation{re: re})
+	}
+	if len(exps) == 0 {
+		return nil, fmt.Errorf("want comment carries no expectations")
+	}
+	return exps, nil
+}

@@ -1,0 +1,9 @@
+//go:build !spblockcheck
+
+package check
+
+// Enabled gates the deep structure validation at production call
+// sites. Without the spblockcheck build tag it is a false constant, so
+// every `if check.Enabled { ... }` block is dead-code eliminated: the
+// validators cost nothing in normal and benchmark builds.
+const Enabled = false

@@ -1,0 +1,8 @@
+//go:build spblockcheck
+
+package check
+
+// Enabled gates the deep structure validation at production call sites.
+// This build carries the spblockcheck tag, so executor construction and
+// the amortised resize paths verify every structure they build.
+const Enabled = true

@@ -1,0 +1,356 @@
+// Package hotpathalloc enforces the zero-allocation contract on
+// annotated hot paths: a function marked //spblock:hotpath — and every
+// function it statically calls within the module — must not contain
+// constructs that allocate or may allocate on the steady-state path.
+//
+// The paper's roofline model (Eq. 1/3) says MTTKRP is bound by memory
+// traffic per nonzero; PR 1/2 made every kernel steady-state 0 B/op
+// with pooled workspaces, but that contract was only guarded by
+// AllocsPerRun tests that are skipped under -race. This analyzer moves
+// the guard to compile time: a stray append, closure or interface
+// boxing in a kernel fails the build instead of silently re-adding
+// per-call memory traffic.
+//
+// Flagged constructs: make/new/append calls, map writes, function
+// literals (closure allocation), slice and map composite literals,
+// address-of composite literals, method-value bindings, string
+// concatenation, string<->[]byte/[]rune conversions, and conversions of
+// concrete values to interface types (including implicit boxing at call
+// sites, assignments and returns).
+//
+// Amortised or error-path callees are excluded by marking them
+// //spblock:coldpath; individual lines (e.g. fmt.Errorf on an error
+// branch of a hot function) are suppressed with a reasoned
+// //spblock:allow comment.
+package hotpathalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"spblock/internal/analysis"
+)
+
+// Analyzer is the hotpathalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid allocating constructs in //spblock:hotpath functions and their module-local callees",
+	Run:  run,
+}
+
+func run(prog *analysis.Program) ([]analysis.Diagnostic, error) {
+	// Roots: annotated declarations. Cold: explicitly excluded ones.
+	roots := make([]*types.Func, 0, 64)
+	cold := make(map[*types.Func]bool)
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				hot := analysis.HasDirective(fd.Doc, analysis.DirectiveHotpath)
+				if analysis.HasDirective(fd.Doc, analysis.DirectiveColdpath) {
+					if hot {
+						return nil, fmt.Errorf("%s: %s is both hotpath and coldpath",
+							prog.Position(fd.Pos()), fn.FullName())
+					}
+					cold[fn] = true
+					continue
+				}
+				if hot {
+					roots = append(roots, fn)
+				}
+			}
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	// via[fn] names the hot root whose traversal first reached fn, for
+	// diagnostic context.
+	via := make(map[*types.Func]string)
+	queue := make([]*types.Func, 0, len(roots))
+	for _, fn := range roots {
+		if _, seen := via[fn]; seen {
+			continue
+		}
+		via[fn] = shortName(fn)
+		queue = append(queue, fn)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		src := prog.FuncSource(fn)
+		if src == nil {
+			continue // external or bodiless; contract stops at the module edge
+		}
+		c := &checker{prog: prog, pkg: src.Pkg, fn: fn, root: via[fn]}
+		diags = append(diags, c.check(src.Decl.Body)...)
+		for _, callee := range c.callees {
+			if cold[callee] {
+				continue
+			}
+			if _, seen := via[callee]; seen {
+				continue
+			}
+			via[callee] = via[fn]
+			queue = append(queue, callee)
+		}
+	}
+	return diags, nil
+}
+
+// shortName renders pkg.Func or pkg.(Recv).Method without the full
+// import path, for readable diagnostics.
+func shortName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fmt.Sprintf("%s.%s.%s", fn.Pkg().Name(), named.Obj().Name(), fn.Name())
+		}
+	}
+	return fmt.Sprintf("%s.%s", fn.Pkg().Name(), fn.Name())
+}
+
+// checker scans one reached function body.
+type checker struct {
+	prog       *analysis.Program
+	pkg        *analysis.Package
+	fn         *types.Func
+	root       string
+	callees    []*types.Func
+	calledFuns map[ast.Expr]bool
+	diags      []analysis.Diagnostic
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	c.diags = append(c.diags, analysis.Diagnostic{
+		Pos: pos,
+		Message: fmt.Sprintf("%s in hot path %s (via //spblock:hotpath %s)",
+			msg, shortName(c.fn), c.root),
+	})
+}
+
+func (c *checker) check(body *ast.BlockStmt) []analysis.Diagnostic {
+	c.calledFuns = make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// The literal itself allocates a closure; its body runs on
+			// the same hot path but is not descended into — one finding
+			// per construct is enough.
+			c.report(n.Pos(), "function literal (closure allocation)")
+			return false
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.CompositeLit:
+			c.checkCompositeLit(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.report(cl.Pos(), "address of composite literal (heap allocation)")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(c.pkg.Info.Types[n].Type) {
+				c.report(n.Pos(), "string concatenation")
+			}
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.IncDecStmt:
+			if c.isMapIndex(n.X) {
+				c.report(n.Pos(), "map write")
+			}
+		case *ast.ReturnStmt:
+			c.checkReturn(n)
+		case *ast.SelectorExpr:
+			c.checkMethodValue(n)
+		}
+		return true
+	})
+	return c.diags
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	info := c.pkg.Info
+	fun := ast.Unparen(call.Fun)
+	c.calledFuns[fun] = true
+
+	// Conversions.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		c.checkConversion(call, tv.Type)
+		return
+	}
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				c.report(call.Pos(), b.Name()+" allocates")
+			}
+			return
+		}
+	}
+	// Static callees continue the traversal.
+	if callee := analysis.Callee(info, call); callee != nil {
+		if c.prog.FuncSource(callee) != nil {
+			c.callees = append(c.callees, callee)
+		}
+	}
+	// Implicit interface boxing of concrete arguments.
+	sig, ok := info.Types[call.Fun].Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			param = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		c.checkBoxing(arg, param)
+	}
+}
+
+// checkConversion flags conversions that copy (string <-> byte/rune
+// slices) or box (concrete -> interface).
+func (c *checker) checkConversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := c.pkg.Info.Types[call.Args[0]].Type
+	if from == nil {
+		return
+	}
+	switch {
+	case isString(to) && isByteOrRuneSlice(from),
+		isByteOrRuneSlice(to) && isString(from):
+		c.report(call.Pos(), "string conversion copies")
+	case types.IsInterface(to) && !types.IsInterface(from):
+		c.report(call.Pos(), "interface conversion boxes")
+	}
+}
+
+// checkBoxing flags a concrete value supplied where an interface is
+// expected.
+func (c *checker) checkBoxing(expr ast.Expr, target types.Type) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	tv, ok := c.pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.IsNil() || types.IsInterface(tv.Type) {
+		return
+	}
+	c.report(expr.Pos(), "interface conversion boxes concrete value")
+}
+
+func (c *checker) checkCompositeLit(lit *ast.CompositeLit) {
+	t := c.pkg.Info.Types[lit].Type
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.report(lit.Pos(), "slice literal allocates")
+	case *types.Map:
+		c.report(lit.Pos(), "map literal allocates")
+	}
+}
+
+func (c *checker) checkAssign(assign *ast.AssignStmt) {
+	for _, lhs := range assign.Lhs {
+		if c.isMapIndex(lhs) {
+			c.report(lhs.Pos(), "map write")
+		}
+	}
+	// Boxing via assignment to interface-typed destinations. Parallel
+	// assignment pairs positionally except for the 2-from-1 forms,
+	// which cannot assign interfaces from concrete values implicitly in
+	// hot code we care about, so only the 1:1 shape is checked.
+	if len(assign.Lhs) == len(assign.Rhs) {
+		for i, lhs := range assign.Lhs {
+			lt := c.pkg.Info.Types[lhs].Type
+			c.checkBoxing(assign.Rhs[i], lt)
+		}
+	}
+}
+
+func (c *checker) checkReturn(ret *ast.ReturnStmt) {
+	sig := c.fn.Type().(*types.Signature)
+	if sig.Results().Len() != len(ret.Results) {
+		return // bare return or 1:n form
+	}
+	for i, res := range ret.Results {
+		c.checkBoxing(res, sig.Results().At(i).Type())
+	}
+}
+
+// checkMethodValue flags method-value bindings (x.M used as a value
+// rather than called), which allocate a bound-method closure. ast.Inspect
+// visits a CallExpr before its Fun, so checkCall has already recorded
+// called selectors by the time this runs.
+func (c *checker) checkMethodValue(sel *ast.SelectorExpr) {
+	if c.calledFuns[sel] {
+		return
+	}
+	s, ok := c.pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	c.report(sel.Pos(), "method value binding allocates")
+}
+
+// isMapIndex reports whether expr is an index into a map.
+func (c *checker) isMapIndex(expr ast.Expr) bool {
+	idx, ok := ast.Unparen(expr).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	t := c.pkg.Info.Types[idx.X].Type
+	if t == nil {
+		return false
+	}
+	_, ok = t.Underlying().(*types.Map)
+	return ok
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

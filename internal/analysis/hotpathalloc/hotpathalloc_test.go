@@ -1,0 +1,13 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"spblock/internal/analysis/analysistest"
+	"spblock/internal/analysis/hotpathalloc"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "spblock/internal/analysis/testdata/src/hotpathalloc",
+		hotpathalloc.Analyzer)
+}

@@ -1,0 +1,369 @@
+// Package kernelpar enforces parallel-kernel hygiene on the worker
+// machinery around the MTTKRP kernels: the prebuilt worker closures,
+// the WaitGroup launch/join protocol, and the atomic block-layer work
+// queue. Each check targets a bug class that the pooled-workspace
+// refactors of PR 1/2 made easy to reintroduce:
+//
+//   - Loop-variable capture: a goroutine launched with `go func(){...}()`
+//     must not reference an enclosing for/range loop variable directly;
+//     it must take the value as a parameter or use an explicit `v := v`
+//     rebinding. (Go 1.22 made direct capture memory-safe, but the
+//     worker-share pattern here indexes shared state by worker id —
+//     an implicit per-iteration binding hides that dependency and
+//     regresses silently when a closure is hoisted into a pool.)
+//
+//   - WaitGroup pairing: `wg.Done()` inside a go-launched closure must
+//     be deferred (a panic between Done and return deadlocks Wait);
+//     `wg.Add` must not be called inside a go-launched closure (it
+//     races with the corresponding Wait); `wg.Add` with a negative
+//     constant is always a bug.
+//
+//   - Atomic/plain mixing: a struct field that is accessed through
+//     sync/atomic address-based functions anywhere in a package must
+//     not also be read or written as a plain field elsewhere in that
+//     package. (The typed atomics — atomic.Int64 et al. — are immune by
+//     construction and are what the block-layer queue uses; this check
+//     guards the address-based style.)
+package kernelpar
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"spblock/internal/analysis"
+)
+
+// Analyzer is the kernelpar pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "kernelpar",
+	Doc:  "parallel-kernel hygiene: loop-var capture in goroutines, WaitGroup pairing, atomic/plain field mixing",
+	Run:  run,
+}
+
+func run(prog *analysis.Program) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, pkg := range prog.Packages {
+		c := &checker{prog: prog, pkg: pkg}
+		c.checkPackage()
+		diags = append(diags, c.diags...)
+	}
+	return diags, nil
+}
+
+type checker struct {
+	prog  *analysis.Program
+	pkg   *analysis.Package
+	diags []analysis.Diagnostic
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	c.diags = append(c.diags, analysis.Diagnostic{
+		Pos:     pos,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *checker) checkPackage() {
+	// Pass 1: collect (struct type, field) pairs accessed atomically by
+	// address anywhere in the package.
+	atomicFields := make(map[string]token.Pos)
+	for _, file := range c.pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAddrAtomicCall(c.pkg.Info, call) || len(call.Args) == 0 {
+				return true
+			}
+			if key, ok := c.fieldKey(addrOperand(call.Args[0])); ok {
+				atomicFields[key] = call.Pos()
+			}
+			return true
+		})
+	}
+
+	for _, file := range c.pkg.Files {
+		// Pass 2: goroutine hygiene.
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkGoroutines(fd.Body)
+		}
+		// Pass 3: plain accesses of atomically-accessed fields.
+		if len(atomicFields) > 0 {
+			c.checkPlainAccess(file, atomicFields)
+		}
+	}
+}
+
+// checkGoroutines walks a function body tracking the loop variables in
+// scope at each go statement.
+func (c *checker) checkGoroutines(body *ast.BlockStmt) {
+	info := c.pkg.Info
+
+	// loopVars maps loop-variable objects to the loop position, for the
+	// stack of enclosing loops. A recursive walk keeps scope exact.
+	loopVars := make(map[types.Object]token.Pos)
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt:
+			added := c.declaredVars(n.Init)
+			for _, obj := range added {
+				loopVars[obj] = n.Pos()
+			}
+			walkChildren(n, walk)
+			for _, obj := range added {
+				delete(loopVars, obj)
+			}
+			return
+		case *ast.RangeStmt:
+			var added []types.Object
+			if n.Tok == token.DEFINE {
+				for _, expr := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := expr.(*ast.Ident); ok && id.Name != "_" {
+						if obj := info.Defs[id]; obj != nil {
+							added = append(added, obj)
+						}
+					}
+				}
+			}
+			for _, obj := range added {
+				loopVars[obj] = n.Pos()
+			}
+			walkChildren(n, walk)
+			for _, obj := range added {
+				delete(loopVars, obj)
+			}
+			return
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				c.checkGoClosure(lit, loopVars)
+			}
+			// Arguments are evaluated in the launching goroutine; walk
+			// them (and the closure body for nested go statements).
+			walkChildren(n, walk)
+			return
+		}
+		walkChildren(n, walk)
+	}
+	walk(body)
+}
+
+// declaredVars extracts the objects declared by a for-init statement.
+func (c *checker) declaredVars(stmt ast.Stmt) []types.Object {
+	assign, ok := stmt.(*ast.AssignStmt)
+	if !ok || assign.Tok != token.DEFINE {
+		return nil
+	}
+	var objs []types.Object
+	for _, lhs := range assign.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			if obj := c.pkg.Info.Defs[id]; obj != nil {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	return objs
+}
+
+// checkGoClosure inspects one go-launched function literal for loop-var
+// capture and WaitGroup misuse.
+func (c *checker) checkGoClosure(lit *ast.FuncLit, loopVars map[types.Object]token.Pos) {
+	info := c.pkg.Info
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil {
+				if _, isLoop := loopVars[obj]; isLoop {
+					c.report(n.Pos(),
+						"goroutine captures loop variable %s; pass it as a parameter or rebind it (%s := %s)",
+						obj.Name(), obj.Name(), obj.Name())
+				}
+			}
+		case *ast.CallExpr:
+			switch wgMethod(info, n) {
+			case "Add":
+				if isNegativeConst(info, n) {
+					// Add(-n) inside a goroutine is the Done idiom; it
+					// still belongs in a defer, but the dedicated
+					// negative-Add check below reports it.
+					c.report(n.Pos(), "WaitGroup.Add with negative value; use Done")
+				} else {
+					c.report(n.Pos(), "WaitGroup.Add inside goroutine races with Wait; Add before launching")
+				}
+			case "Done":
+				if !inDefer(lit.Body, n) {
+					c.report(n.Pos(), "WaitGroup.Done in goroutine must be deferred (a panic before it deadlocks Wait)")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkPlainAccess flags non-atomic reads/writes of fields that the
+// package elsewhere accesses via address-based sync/atomic calls.
+func (c *checker) checkPlainAccess(file *ast.File, atomicFields map[string]token.Pos) {
+	info := c.pkg.Info
+	// Selector expressions consumed by &x.f arguments of atomic calls
+	// are the atomic accesses themselves; collect them to skip.
+	atomicUses := make(map[ast.Expr]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if ok && isAddrAtomicCall(info, call) && len(call.Args) > 0 {
+			atomicUses[addrOperand(call.Args[0])] = true
+		}
+		return true
+	})
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || atomicUses[sel] {
+			return true
+		}
+		key, ok := c.fieldKey(sel)
+		if !ok {
+			return true
+		}
+		if atomicPos, isAtomic := atomicFields[key]; isAtomic {
+			c.report(sel.Pos(),
+				"plain access of field %s, which is accessed atomically at %s",
+				key, c.prog.Position(atomicPos))
+		}
+		return true
+	})
+}
+
+// fieldKey names a struct field access as "Type.field" if expr is a
+// field selector with a named struct base.
+func (c *checker) fieldKey(expr ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	s, ok := c.pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	t := s.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	return named.Obj().Name() + "." + sel.Sel.Name, true
+}
+
+// addrOperand unwraps &expr to expr.
+func addrOperand(arg ast.Expr) ast.Expr {
+	if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+		return ast.Unparen(u.X)
+	}
+	return ast.Unparen(arg)
+}
+
+// isAddrAtomicCall reports whether call is one of the address-based
+// sync/atomic functions (atomic.AddInt64, atomic.LoadUint32, ...).
+func isAddrAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	name := fn.Name()
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// wgMethod returns "Add"/"Done"/"Wait" when call is that method on a
+// sync.WaitGroup, else "".
+func wgMethod(info *types.Info, call *ast.CallExpr) string {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); !ok || named.Obj().Name() != "WaitGroup" {
+		return ""
+	}
+	return fn.Name()
+}
+
+// isNegativeConst reports whether the call's first argument is a
+// negative constant.
+func isNegativeConst(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return ok && v < 0
+}
+
+// inDefer reports whether node n is (part of) a deferred call within
+// body.
+func inDefer(body *ast.BlockStmt, n ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if d, ok := m.(*ast.DeferStmt); ok {
+			ast.Inspect(d.Call, func(k ast.Node) bool {
+				if k == n {
+					found = true
+				}
+				return !found
+			})
+			// Also treat calls inside a deferred closure as deferred.
+			if !found {
+				if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+					ast.Inspect(lit, func(k ast.Node) bool {
+						if k == n {
+							found = true
+						}
+						return !found
+					})
+				}
+			}
+			return !found
+		}
+		return !found
+	})
+	return found
+}
+
+// walkChildren visits the direct children of n with walk.
+func walkChildren(n ast.Node, walk func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == n {
+			return true
+		}
+		if m != nil {
+			walk(m)
+		}
+		return false
+	})
+}

@@ -1,0 +1,13 @@
+package kernelpar_test
+
+import (
+	"testing"
+
+	"spblock/internal/analysis/analysistest"
+	"spblock/internal/analysis/kernelpar"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "spblock/internal/analysis/testdata/src/kernelpar",
+		kernelpar.Analyzer)
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Module     *struct{ Path, Dir string }
+	Error      *struct{ Err string }
+}
+
+// Load resolves the patterns with the go tool (run in dir; an empty dir
+// means the current directory), type-checks every module-local package
+// the patterns reach from source, and imports everything else (the
+// standard library) from compiler export data. Because all module
+// packages are checked from source against one FileSet and one package
+// map, type-checker objects are identical across package boundaries —
+// the property the cross-package call-graph traversal relies on.
+//
+// Load shells out to `go list -export`, which compiles dependencies
+// into the build cache; it needs no network access.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	byPath := make(map[string]*listedPackage, len(listed))
+	for _, lp := range listed {
+		byPath[lp.ImportPath] = lp
+	}
+
+	prog := &Program{
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*Package),
+	}
+	imp := &progImporter{
+		prog:    prog,
+		exports: make(map[string]string),
+	}
+	imp.gc = importer.ForCompiler(prog.Fset, "gc", imp.lookup)
+	for _, lp := range listed {
+		if lp.Export != "" {
+			imp.exports[lp.ImportPath] = lp.Export
+		}
+	}
+
+	// Type-check module packages in dependency (topological) order.
+	var order []*listedPackage
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(lp *listedPackage) error
+	visit = func(lp *listedPackage) error {
+		switch state[lp.ImportPath] {
+		case 1:
+			return fmt.Errorf("analysis: import cycle through %s", lp.ImportPath)
+		case 2:
+			return nil
+		}
+		state[lp.ImportPath] = 1
+		for _, path := range lp.Imports {
+			if dep, ok := byPath[path]; ok && dep.Module != nil && !dep.Standard {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[lp.ImportPath] = 2
+		order = append(order, lp)
+		return nil
+	}
+	for _, lp := range listed {
+		if lp.Module == nil || lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if err := visit(lp); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, lp := range order {
+		pkg, err := checkPackage(prog, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+		prog.byPath[lp.ImportPath] = pkg
+		if !lp.DepOnly {
+			prog.Roots = append(prog.Roots, pkg)
+		}
+	}
+	if len(prog.Roots) == 0 {
+		return nil, fmt.Errorf("analysis: no module packages match %v", patterns)
+	}
+	prog.index()
+	return prog, nil
+}
+
+// goList runs `go list -e -export -deps -json` over the patterns.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var listed []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}
+
+// checkPackage parses and type-checks one module package from source.
+func checkPackage(prog *Program, imp types.Importer, lp *listedPackage) (*Package, error) {
+	if len(lp.GoFiles) == 0 {
+		return nil, fmt.Errorf("analysis: %s has no Go files", lp.ImportPath)
+	}
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(prog.Fset, filepath.Join(lp.Dir, name),
+			nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, prog.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:  lp.ImportPath,
+		Dir:   lp.Dir,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// progImporter serves imports during type checking: module packages
+// resolve to the already source-checked *types.Package (guaranteed by
+// the topological check order), everything else to gc export data
+// recorded by `go list -export`.
+type progImporter struct {
+	prog    *Program
+	exports map[string]string
+	gc      types.Importer
+}
+
+func (i *progImporter) Import(path string) (*types.Package, error) {
+	if pkg := i.prog.byPath[path]; pkg != nil {
+		return pkg.Types, nil
+	}
+	return i.gc.Import(path)
+}
+
+// lookup feeds export data files to the gc importer.
+func (i *progImporter) lookup(path string) (io.ReadCloser, error) {
+	file, ok := i.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: no export data for %q", path)
+	}
+	return os.Open(file)
+}

@@ -1,0 +1,36 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"spblock/internal/analysis"
+	"spblock/internal/analysis/hotpathalloc"
+	"spblock/internal/analysis/kernelpar"
+	"spblock/internal/analysis/workspaceescape"
+)
+
+// TestRepoSelfClean locks in the repo-wide contract: the annotated hot
+// paths, workspace types and worker machinery must produce zero
+// diagnostics. A regression here means either a kernel picked up an
+// allocating construct / escape / parallelism hazard, or an analyzer
+// grew a false positive — both are bugs.
+func TestRepoSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	prog, err := analysis.Load("", "spblock/...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	diags, err := analysis.Run(prog, []*analysis.Analyzer{
+		hotpathalloc.Analyzer,
+		workspaceescape.Analyzer,
+		kernelpar.Analyzer,
+	})
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: [%s] %s", prog.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}

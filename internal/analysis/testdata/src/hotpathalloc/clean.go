@@ -1,0 +1,44 @@
+// Package hpgold is the hotpathalloc golden package: this file must
+// stay diagnostic-free, dirty.go seeds one violation per construct the
+// analyzer knows.
+package hpgold
+
+// axpy is hot and allocation-free: index loops, slice element writes
+// and arithmetic are all fine.
+//
+//spblock:hotpath
+func axpy(a float64, xs, out []float64) {
+	for i, v := range xs {
+		out[i] += a * v
+	}
+}
+
+// driver shows the traversal rules: unannotated helpers reached from a
+// hot root are checked too, and a coldpath callee stops the walk.
+//
+//spblock:hotpath
+func driver(xs, out []float64) {
+	scale(xs, out)
+	grow(len(xs))
+}
+
+func scale(xs, out []float64) {
+	for i := range xs {
+		out[i] = 2 * xs[i]
+	}
+}
+
+// grow is the amortised resize path; its allocations are exempt.
+//
+//spblock:coldpath
+func grow(n int) []float64 {
+	return make([]float64, n)
+}
+
+// sized shows the reasoned escape hatch: the allocation is intended
+// and the allow comment names why.
+//
+//spblock:hotpath
+func sized(n int) []float64 {
+	return make([]float64, n) //spblock:allow one-shot setup path, measured 0 allocs/op steady state
+}

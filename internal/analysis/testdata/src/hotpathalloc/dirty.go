@@ -1,0 +1,34 @@
+package hpgold
+
+// dirtyKernel packs one instance of each allocating construct the
+// analyzer must catch inside an annotated function.
+//
+//spblock:hotpath
+func dirtyKernel(n int, m map[int]int, s string, xs []float64) []float64 {
+	buf := make([]float64, n) // want `make allocates`
+	buf = append(buf, 1)      // want `append allocates`
+	p := new(int)             // want `new allocates`
+	m[*p] = n                 // want `map write`
+	t := s + "x"              // want `string concatenation`
+	bs := []byte(t)           // want `string conversion copies`
+	f := func() {}            // want `function literal`
+	f()
+	box(n) // want `interface conversion boxes concrete value`
+	_ = bs
+	return buf
+}
+
+func box(v any) { _ = v }
+
+// viaRoot proves traversal: the violation sits in an unannotated
+// helper, reached from the hot root.
+//
+//spblock:hotpath
+func viaRoot(xs []float64) {
+	leakyHelper(xs)
+}
+
+func leakyHelper(xs []float64) {
+	pair := []float64{xs[0], xs[0]} // want `slice literal allocates`
+	_ = pair
+}

@@ -1,0 +1,51 @@
+// Package kpgold is the kernelpar golden package: this file must stay
+// diagnostic-free, dirty.go seeds one violation per hazard the
+// analyzer knows.
+package kpgold
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// queue uses a typed atomic, which is immune to atomic/plain mixing by
+// construction.
+type queue struct {
+	next atomic.Int64
+}
+
+func claim(q *queue, limit int64) int64 {
+	n := q.next.Add(1) - 1
+	if n >= limit {
+		return -1
+	}
+	return n
+}
+
+// fanOutRebind makes the worker-id dependency explicit with the v := v
+// idiom; Add precedes the launches and Done is deferred.
+func fanOutRebind(work [][]float64) {
+	var wg sync.WaitGroup
+	wg.Add(len(work))
+	for w := range work {
+		w := w
+		go func() {
+			defer wg.Done()
+			work[w][0] = 1
+		}()
+	}
+	wg.Wait()
+}
+
+// fanOutParam passes the loop variable as a parameter instead.
+func fanOutParam(work [][]float64) {
+	var wg sync.WaitGroup
+	wg.Add(len(work))
+	for w := range work {
+		go func(w int) {
+			defer wg.Done()
+			work[w][0] = 1
+		}(w)
+	}
+	wg.Wait()
+}

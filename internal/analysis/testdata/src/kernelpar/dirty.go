@@ -1,0 +1,43 @@
+package kpgold
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counter is accessed through address-based sync/atomic calls, so any
+// plain access of hits elsewhere in the package is a race.
+type counter struct {
+	hits int64
+}
+
+func bump(c *counter) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func read(c *counter) int64 {
+	return c.hits // want `plain access of field counter.hits`
+}
+
+func fanOutBad(work [][]float64) {
+	var wg sync.WaitGroup
+	for w := range work {
+		go func() {
+			wg.Add(1)      // want `races with Wait`
+			wg.Done()      // want `must be deferred`
+			work[w][0] = 1 // want `captures loop variable w`
+		}()
+	}
+	wg.Wait()
+}
+
+func negativeAdd(done chan struct{}) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wg.Add(-1) // want `negative value; use Done`
+		done <- struct{}{}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,45 @@
+// Package wsgold is the workspaceescape golden package: this file must
+// stay diagnostic-free, dirty.go seeds one violation per escape route
+// the analyzer knows.
+package wsgold
+
+// pool is the pooled per-executor scratch state.
+//
+//spblock:workspace
+type pool struct {
+	buf []float64
+	tmp []float64
+}
+
+// engine owns a pool, so pool-derived values may live in its fields.
+type engine struct {
+	ws  pool
+	cur []float64
+}
+
+// foreign has no pool field: storing pool memory here is an escape.
+type foreign struct {
+	data []float64
+}
+
+// run uses pool memory locally and stashes it in the owner — both the
+// intended use.
+func (e *engine) run(xs []float64) float64 {
+	b := e.ws.buf
+	var s float64
+	for i, v := range xs {
+		b[i] = v
+		s += b[i]
+	}
+	e.cur = b // fields of the owning type are inside the ownership boundary
+	return s
+}
+
+// reset is a method on the workspace type itself; internal plumbing is
+// exempt.
+func (p *pool) reset() {
+	for i := range p.buf {
+		p.buf[i] = 0
+	}
+	p.tmp = p.buf[:0]
+}

@@ -1,0 +1,31 @@
+package wsgold
+
+var global []float64
+
+// leak hands pool memory to the caller, which may retain it across the
+// next Run and read torn data.
+func (e *engine) leak() []float64 {
+	return e.ws.buf // want `returned to caller`
+}
+
+// leakVar shows derivation tracking through a local.
+func (e *engine) leakVar() []float64 {
+	b := e.ws.tmp
+	return b // want `returned to caller`
+}
+
+func (e *engine) send(ch chan []float64) {
+	ch <- e.ws.tmp // want `sent on channel`
+}
+
+func (e *engine) publish() {
+	global = e.ws.buf // want `stored in package-level variable global`
+}
+
+func (e *engine) stash(f *foreign) {
+	f.data = e.ws.buf // want `stored in field data of non-owner type`
+}
+
+func (e *engine) scatter(dst [][]float64) {
+	dst[0] = e.ws.buf // want `non-workspace container`
+}

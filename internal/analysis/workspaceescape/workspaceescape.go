@@ -1,0 +1,314 @@
+// Package workspaceescape enforces the ownership contract of pooled
+// workspaces: memory reached through a type marked //spblock:workspace
+// (core.workspace, nmode.nworkspace, the pooled walkers, strip-pack
+// buffers, COO privatised outputs) belongs to exactly one executor and
+// must not outlive or escape it. An escaped workspace buffer turns the
+// "one Executor must not Run concurrently with itself" rule into a
+// silent data race and lets a caller observe buffers the next Run will
+// overwrite — exactly the layout-invariant class of bug that only
+// surfaces as wrong numbers.
+//
+// The analyzer tracks workspace-derived expressions inside each
+// function: any value of an annotated workspace type, any field/index/
+// slice chain rooted at one, and any local variable assigned such an
+// expression (propagated to a fixpoint). It then reports when a derived
+// value is
+//
+//   - returned to a caller,
+//   - assigned to a struct field whose owner is neither a workspace
+//     type nor a struct embedding one (the owning executor),
+//   - assigned to a package-level variable, or
+//   - sent on a channel.
+//
+// Passing derived values DOWN the call tree (kernel operands) is fine:
+// the callee frame cannot outlive the Run call that passed them.
+package workspaceescape
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"spblock/internal/analysis"
+)
+
+// Analyzer is the workspaceescape pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "workspaceescape",
+	Doc:  "forbid //spblock:workspace-derived values from escaping the owning executor",
+	Run:  run,
+}
+
+func run(prog *analysis.Program) ([]analysis.Diagnostic, error) {
+	// Workspace types, program-wide.
+	wsTypes := make(map[*types.TypeName]bool)
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil {
+						doc = gd.Doc
+					}
+					if !analysis.HasDirective(doc, analysis.DirectiveWorkspace) {
+						continue
+					}
+					if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+						wsTypes[tn] = true
+					}
+				}
+			}
+		}
+	}
+	if len(wsTypes) == 0 {
+		return nil, nil
+	}
+
+	esc := &escapes{prog: prog, wsTypes: wsTypes}
+	for _, pkg := range prog.Packages {
+		esc.pkg = pkg
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					esc.checkFunc(fd)
+				}
+			}
+		}
+	}
+	return esc.diags, nil
+}
+
+type escapes struct {
+	prog    *analysis.Program
+	pkg     *analysis.Package
+	wsTypes map[*types.TypeName]bool
+	diags   []analysis.Diagnostic
+}
+
+// carriesRef reports whether values of type t can alias workspace
+// memory: pointer-shaped types and aggregates containing one. A scalar
+// (or string, which is immutable) read out of a pooled buffer is a
+// plain copy and free to escape.
+func carriesRef(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return false
+	case *types.Array:
+		return carriesRef(u.Elem())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carriesRef(u.Field(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return true // pointers, slices, maps, chans, funcs, interfaces
+}
+
+// isWorkspaceType reports whether t (or what it points to) is an
+// annotated workspace type.
+func (e *escapes) isWorkspaceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && e.wsTypes[named.Obj()]
+}
+
+// isOwnerType reports whether t is a struct that directly embeds a
+// workspace-typed field — the executor that owns the pool. Storing
+// workspace values into the owner (or into the workspace itself) is the
+// intended data flow.
+func (e *escapes) isOwnerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if e.isWorkspaceType(t) {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if e.isWorkspaceType(ft) {
+			return true
+		}
+		// A slice/array/map of workspace values also marks the owner.
+		switch c := ft.Underlying().(type) {
+		case *types.Slice:
+			if e.isWorkspaceType(c.Elem()) {
+				return true
+			}
+		case *types.Array:
+			if e.isWorkspaceType(c.Elem()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkFunc runs the per-function derived-value analysis.
+func (e *escapes) checkFunc(fd *ast.FuncDecl) {
+	info := e.pkg.Info
+
+	// derivedVars: local objects holding workspace-derived values.
+	derivedVars := make(map[types.Object]bool)
+
+	// Methods of a workspace type may do anything with their receiver's
+	// own storage: the workspace's internal plumbing (publish, launch,
+	// bind) is where derived values legitimately live.
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if rt := info.TypeOf(fd.Recv.List[0].Type); e.isWorkspaceType(rt) {
+			return
+		}
+	}
+
+	// isDerived reports whether expr reaches workspace storage,
+	// consulting the current derivedVars set.
+	var isDerived func(expr ast.Expr) bool
+	isDerived = func(expr ast.Expr) bool {
+		expr = ast.Unparen(expr)
+		t := info.TypeOf(expr)
+		if t != nil && !carriesRef(t) {
+			// Scalars copied out of workspace storage (s += buf[i]) are
+			// plain values; only reference-carrying types can alias the
+			// pool's memory.
+			return false
+		}
+		if e.isWorkspaceType(t) {
+			return true
+		}
+		switch x := expr.(type) {
+		case *ast.Ident:
+			return derivedVars[info.ObjectOf(x)]
+		case *ast.SelectorExpr:
+			// A field read from a workspace value is derived; a selector
+			// on a non-workspace base is only derived if the base is.
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				return isDerived(x.X)
+			}
+			return false
+		case *ast.IndexExpr:
+			return isDerived(x.X)
+		case *ast.SliceExpr:
+			return isDerived(x.X)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				return isDerived(x.X)
+			}
+			return false
+		case *ast.StarExpr:
+			return isDerived(x.X)
+		}
+		return false
+	}
+
+	// Propagate derived-ness through local assignments to a fixpoint
+	// (the chains are short: ws := &e.ws; priv := ws.privates[w]).
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.ObjectOf(id)
+				if obj == nil || derivedVars[obj] {
+					continue
+				}
+				if isDerived(assign.Rhs[i]) {
+					derivedVars[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	report := func(n ast.Node, format string, args ...any) {
+		e.diags = append(e.diags, analysis.Diagnostic{
+			Pos:     n.Pos(),
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if isDerived(res) {
+					report(res, "workspace-derived value returned to caller")
+				}
+			}
+		case *ast.SendStmt:
+			if isDerived(n.Value) {
+				report(n.Value, "workspace-derived value sent on channel")
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if !isDerived(n.Rhs[i]) {
+					continue
+				}
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.Ident:
+					obj := info.ObjectOf(l)
+					if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+						report(lhs, "workspace-derived value stored in package-level variable %s", v.Name())
+					}
+				case *ast.SelectorExpr:
+					sel, ok := info.Selections[l]
+					if !ok || sel.Kind() != types.FieldVal {
+						continue
+					}
+					base := info.TypeOf(l.X)
+					if e.isOwnerType(base) || isDerived(l.X) {
+						continue // workspace-internal or owner-internal store
+					}
+					report(lhs, "workspace-derived value stored in field %s of non-owner type %s",
+						l.Sel.Name, typeString(base))
+				case *ast.IndexExpr:
+					// Storing into a map or slice that is not itself
+					// workspace-derived leaks through the container.
+					if !isDerived(l.X) {
+						report(lhs, "workspace-derived value stored in non-workspace container")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func typeString(t types.Type) string {
+	if t == nil {
+		return "<unknown>"
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

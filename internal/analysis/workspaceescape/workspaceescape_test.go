@@ -1,0 +1,13 @@
+package workspaceescape_test
+
+import (
+	"testing"
+
+	"spblock/internal/analysis/analysistest"
+	"spblock/internal/analysis/workspaceescape"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "spblock/internal/analysis/testdata/src/workspaceescape",
+		workspaceescape.Analyzer)
+}

@@ -6,6 +6,7 @@ import (
 
 	"spblock/internal/la"
 	"spblock/internal/tensor"
+	"spblock/internal/testutil/raceflag"
 )
 
 // TestRunSteadyStateAllocations is the regression guard for the pooled
@@ -16,7 +17,7 @@ import (
 // allocator pressure and GC noise across every decomposition and every
 // autotuning measurement.
 func TestRunSteadyStateAllocations(t *testing.T) {
-	if raceEnabled {
+	if raceflag.Enabled {
 		t.Skip("race instrumentation allocates; AllocsPerRun is meaningless under -race")
 	}
 	rng := rand.New(rand.NewSource(1))

@@ -172,6 +172,8 @@ func (bt *BlockedTensor) FactorAccessCounts() [3]int {
 // Two blocks in different mode-1 layers write disjoint output rows, so
 // layers are the natural race-free parallel unit (the same argument
 // SPLATT uses for slices); Executor.runMB shares layers across workers.
+//
+//spblock:hotpath
 func mbLayer(bt *BlockedTensor, b, c, out *la.Matrix, bs, bi int, accum []float64) {
 	for bj := 0; bj < bt.Grid[1]; bj++ {
 		for bk := 0; bk < bt.Grid[2]; bk++ {

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"spblock/internal/analysis/check"
+	"spblock/internal/tensor"
+)
+
+// validateCSF runs the spblockcheck structure oracle over a SPLATT
+// tree. The order-3 structure is a three-level CSF: slices over mode
+// 0, fibers over mode 2, leaves over mode 1.
+//
+//spblock:coldpath
+func validateCSF(c *tensor.CSF) error {
+	if c == nil {
+		return fmt.Errorf("nil CSF")
+	}
+	return check.Tree(
+		[]int{c.Dims[0], c.Dims[1], c.Dims[2]},
+		[]int{0, 2, 1},
+		[][]int32{c.SliceID, c.FiberK, c.NzJ},
+		[][]int32{c.SlicePtr, c.FiberPtr},
+		c.NNZ())
+}
+
+// validateBlocked runs the oracle over a blocked layout: per-block CSF
+// invariants, per-block coordinate containment, exact nonzero
+// coverage.
+//
+//spblock:coldpath
+func validateBlocked(bt *BlockedTensor) error {
+	if bt == nil {
+		return fmt.Errorf("nil BlockedTensor")
+	}
+	if len(bt.Blocks) != bt.Grid[0]*bt.Grid[1]*bt.Grid[2] {
+		return fmt.Errorf("%d blocks for grid %v", len(bt.Blocks), bt.Grid)
+	}
+	covered := 0
+	for id, blk := range bt.Blocks {
+		if blk == nil {
+			continue
+		}
+		if err := validateCSF(blk); err != nil {
+			return fmt.Errorf("block %d: %w", id, err)
+		}
+		bi := id / (bt.Grid[1] * bt.Grid[2])
+		bj := (id / bt.Grid[2]) % bt.Grid[1]
+		bk := id % bt.Grid[2]
+		if err := check.IDBox("SliceID", blk.SliceID, bi, bt.BlockDims[0], bt.Dims[0]); err != nil {
+			return fmt.Errorf("block %d: %w", id, err)
+		}
+		if err := check.IDBox("NzJ", blk.NzJ, bj, bt.BlockDims[1], bt.Dims[1]); err != nil {
+			return fmt.Errorf("block %d: %w", id, err)
+		}
+		if err := check.IDBox("FiberK", blk.FiberK, bk, bt.BlockDims[2], bt.Dims[2]); err != nil {
+			return fmt.Errorf("block %d: %w", id, err)
+		}
+		covered += blk.NNZ()
+	}
+	return check.Coverage(covered, bt.NNZ())
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"spblock/internal/analysis/check"
 	"spblock/internal/la"
 	"spblock/internal/tensor"
 )
@@ -102,6 +103,8 @@ func (p Plan) workers() int {
 }
 
 // validateOperands checks the factor shapes against the tensor dims.
+//
+//spblock:coldpath
 func validateOperands(dims tensor.Dims, b, c, out *la.Matrix) error {
 	if b.Cols != c.Cols || b.Cols != out.Cols {
 		return fmt.Errorf("core: rank mismatch: B has %d cols, C %d, out %d",
@@ -174,6 +177,14 @@ func NewExecutor(t *tensor.COO, plan Plan) (*Executor, error) {
 			return nil, fmt.Errorf("core: negative RankBlockCols %d", plan.RankBlockCols)
 		}
 	}
+	if check.Enabled {
+		switch {
+		case e.csf != nil:
+			check.Must("core.NewExecutor", validateCSF(e.csf))
+		case e.blocked != nil:
+			check.Must("core.NewExecutor", validateBlocked(e.blocked))
+		}
+	}
 	e.initRunners()
 	return e, nil
 }
@@ -189,6 +200,8 @@ func (e *Executor) Dims() tensor.Dims { return e.dims }
 // After the first call at a given rank, Run is allocation-free: every
 // buffer it needs lives in the executor's pooled workspace. Run must
 // not be called concurrently on the same Executor.
+//
+//spblock:hotpath
 func (e *Executor) Run(b, c, out *la.Matrix) error {
 	if err := validateOperands(e.dims, b, c, out); err != nil {
 		return err

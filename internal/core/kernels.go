@@ -17,6 +17,8 @@ import (
 // O(workers · I · R) reduction overhead is one more reason the
 // fiber-ordered SPLATT layout wins (Sec. III-C). The privatisation
 // lives in Executor.runCOO.
+//
+//spblock:hotpath
 func cooRange(t *tensor.COO, b, c, out *la.Matrix, lo, hi int) {
 	r := out.Cols
 	for p := lo; p < hi; p++ {
@@ -31,12 +33,16 @@ func cooRange(t *tensor.COO, b, c, out *la.Matrix, lo, hi int) {
 }
 
 // cooKernel runs the coordinate kernel over the whole tensor.
+//
+//spblock:hotpath
 func cooKernel(t *tensor.COO, b, c, out *la.Matrix) {
 	cooRange(t, b, c, out, 0, t.NNZ())
 }
 
 // addInto accumulates src into dst element-wise (the privatisation
 // reduction). Shapes must match.
+//
+//spblock:hotpath
 func addInto(dst, src *la.Matrix) {
 	for i := 0; i < dst.Rows; i++ {
 		d, s := dst.Row(i), src.Row(i)
@@ -53,6 +59,8 @@ func addInto(dst, src *la.Matrix) {
 // the inner loop multiplies each nonzero against a row of B into the
 // accumulator; the fiber epilogue scales the accumulator by the row of
 // C and adds it into the output row.
+//
+//spblock:hotpath
 func splattRange(t *tensor.CSF, b, c, out *la.Matrix, accum []float64, lo, hi int) {
 	r := out.Cols
 	for s := lo; s < hi; s++ {
@@ -124,6 +132,8 @@ func sliceShares(t *tensor.CSF, workers int) [][2]int {
 // blocks whose accumulators live entirely in scalar locals — the
 // register blocking that removes the accumulator-array loads the PPA
 // identified as a bottleneck (Table I, type 3).
+//
+//spblock:hotpath
 func rankBRange(t *tensor.CSF, b, c, out *la.Matrix, bs, lo, hi int) {
 	r := out.Cols
 	if bs <= 0 || bs > r {
@@ -155,6 +165,8 @@ func rankBRange(t *tensor.CSF, b, c, out *la.Matrix, bs, lo, hi int) {
 // r0, with all accumulators as scalar locals (registers). The nonzeros
 // of the fiber are re-read for every register block; their reuse
 // distance is tiny, so they come from L1 (Sec. V-B).
+//
+//spblock:hotpath
 func fiber16(t *tensor.CSF, b, c, out *la.Matrix, pLo, pHi, i, k, r0 int) {
 	var a0, a1, a2, a3, a4, a5, a6, a7 float64
 	var a8, a9, a10, a11, a12, a13, a14, a15 float64
@@ -204,6 +216,8 @@ func fiber16(t *tensor.CSF, b, c, out *la.Matrix, pLo, pHi, i, k, r0 int) {
 
 // fiberTail processes one fiber for columns [r0, r1) where the width
 // is below RegisterBlockWidth, with a small stack accumulator.
+//
+//spblock:hotpath
 func fiberTail(t *tensor.CSF, b, c, out *la.Matrix, pLo, pHi, i, k, r0, r1 int) {
 	var acc [RegisterBlockWidth]float64
 	w := r1 - r0

@@ -9,6 +9,8 @@ import (
 // to a strip allocates nothing; for the packed buffers (rr == 0) the
 // kept stride makes the buffer reusable for the final, possibly
 // narrower, strip.
+//
+//spblock:hotpath
 func setStrip(view, src *la.Matrix, rr, w int) {
 	view.Rows = src.Rows
 	view.Cols = w
@@ -17,6 +19,8 @@ func setStrip(view, src *la.Matrix, rr, w int) {
 }
 
 // packStrip copies src columns [rr, rr+dst.Cols) into dst.
+//
+//spblock:hotpath
 func packStrip(dst, src *la.Matrix, rr int) {
 	w := dst.Cols
 	for i := 0; i < dst.Rows; i++ {
@@ -26,6 +30,8 @@ func packStrip(dst, src *la.Matrix, rr int) {
 
 // unpackStrip copies the packed output back into dst columns
 // [rr, rr+src.Cols).
+//
+//spblock:hotpath
 func unpackStrip(dst, src *la.Matrix, rr int) {
 	w := src.Cols
 	for i := 0; i < src.Rows; i++ {

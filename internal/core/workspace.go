@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"spblock/internal/analysis/check"
 	"spblock/internal/la"
 )
 
@@ -22,6 +23,8 @@ import (
 // one Executor must not Run concurrently with itself — use one Executor
 // per goroutine (they can share the same tensor structures via separate
 // NewExecutor calls, or separate modes of a MultiModeExecutor).
+//
+//spblock:workspace
 type workspace struct {
 	// rank the rank-dependent buffers are currently sized for (0 =
 	// never sized).
@@ -66,6 +69,8 @@ type workspace struct {
 
 // ensure sizes the rank-dependent buffers for rank r. No-op when the
 // rank is unchanged, which is the steady state of a decomposition.
+//
+//spblock:coldpath
 func (e *Executor) ensure(r int) {
 	ws := &e.ws
 	if ws.rank == r {
@@ -86,6 +91,9 @@ func (e *Executor) ensure(r int) {
 		}
 	}
 	if e.plan.Method == MethodRankB || e.plan.Method == MethodMBRankB {
+		if check.Enabled {
+			check.Must("core.ensure", check.StripLadder(r, e.rankBlock(r)))
+		}
 		if bs := e.rankBlock(r); bs < r && !e.plan.NoStripPacking {
 			ws.bPack = la.NewMatrix(e.dims[1], bs)
 			ws.cPack = la.NewMatrix(e.dims[2], bs)
@@ -95,6 +103,8 @@ func (e *Executor) ensure(r int) {
 }
 
 // publish records the operands the pre-built worker closures read.
+//
+//spblock:hotpath
 func (ws *workspace) publish(b, c, out *la.Matrix, bs int) {
 	ws.b, ws.c, ws.out, ws.bs = b, c, out, bs
 }
@@ -102,6 +112,8 @@ func (ws *workspace) publish(b, c, out *la.Matrix, bs int) {
 // launch runs every worker body and waits for them. The closures were
 // built in NewExecutor and goroutine descriptors are recycled by the
 // runtime, so a steady-state launch does not allocate.
+//
+//spblock:hotpath
 func (ws *workspace) launch() {
 	ws.wg.Add(len(ws.runners))
 	for _, fn := range ws.runners {

@@ -158,6 +158,8 @@ func NewMultiModeExecutor(t *tensor.COO, plan core.Plan, modes ...int) (*MultiMo
 
 // Run computes out = MTTKRP over mode n, selecting the B and C
 // operands from factors by the mode's spec. out must be dims[n] rows.
+//
+//spblock:hotpath
 func (m *MultiModeExecutor) Run(n int, factors [3]*la.Matrix, out *la.Matrix) error {
 	e, err := m.executor(n)
 	if err != nil {
@@ -173,6 +175,7 @@ func (m *MultiModeExecutor) Executor(n int) (*core.Executor, error) {
 	return m.executor(n)
 }
 
+//spblock:coldpath
 func (m *MultiModeExecutor) executor(n int) (*core.Executor, error) {
 	if n < 0 || n > 2 {
 		return nil, fmt.Errorf("engine: mode %d out of range [0,2]", n)

@@ -137,19 +137,21 @@ func planFromNOptions(opts nmode.Options, dims []int) (core.Plan, error) {
 // Run computes out = MTTKRP over mode `mode`. factors is indexed by
 // mode with one entry per mode (the output mode's entry may be nil);
 // out must be dims[mode] rows.
+//
+//spblock:hotpath
 func (e *NEngine) Run(mode int, factors []*la.Matrix, out *la.Matrix) error {
 	n := len(e.dims)
 	if mode < 0 || mode >= n {
-		return fmt.Errorf("engine: mode %d out of range [0,%d)", mode, n)
+		return fmt.Errorf("engine: mode %d out of range [0,%d)", mode, n) //spblock:allow misuse error path, never taken by a decomposition sweep
 	}
 	if len(factors) != n {
-		return fmt.Errorf("engine: %d factors for order-%d tensor", len(factors), n)
+		return fmt.Errorf("engine: %d factors for order-%d tensor", len(factors), n) //spblock:allow misuse error path, never taken by a decomposition sweep
 	}
 	if e.fast != nil {
 		return e.fast.Run(mode, [3]*la.Matrix{factors[0], factors[1], factors[2]}, out)
 	}
 	if e.execs[mode] == nil {
-		return fmt.Errorf("engine: mode %d was not requested at construction", mode)
+		return fmt.Errorf("engine: mode %d was not requested at construction", mode) //spblock:allow misuse error path, never taken by a decomposition sweep
 	}
 	return e.execs[mode].Run(factors, out)
 }

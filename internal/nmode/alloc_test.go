@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"spblock/internal/la"
+	"spblock/internal/testutil/raceflag"
 )
 
 // allocCases is the options matrix for the N-mode executor tests:
@@ -28,7 +29,7 @@ func allocCases() []Options {
 // workspace, repeated Executor.Run calls must not touch the heap at
 // all — CPALSN calls this kernel once per mode per sweep.
 func TestExecutorSteadyStateAllocations(t *testing.T) {
-	if raceEnabled {
+	if raceflag.Enabled {
 		t.Skip("race instrumentation allocates; AllocsPerRun is meaningless under -race")
 	}
 	rng := rand.New(rand.NewSource(1))

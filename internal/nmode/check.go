@@ -1,0 +1,62 @@
+package nmode
+
+import (
+	"fmt"
+
+	"spblock/internal/analysis/check"
+)
+
+// validateTree runs the spblockcheck structure oracle over an order-N
+// CSF tree.
+//
+//spblock:coldpath
+func validateTree(c *CSF) error {
+	if c == nil {
+		return fmt.Errorf("nil CSF")
+	}
+	return check.Tree(c.Dims, c.ModeOrder, c.ID, c.Ptr, len(c.Val))
+}
+
+// validateBlocked runs the oracle over an order-N blocked layout:
+// per-block tree invariants, per-block coordinate containment in every
+// mode, exact nonzero coverage.
+//
+//spblock:coldpath
+func validateBlocked(bt *BlockedTensor) error {
+	if bt == nil {
+		return fmt.Errorf("nil BlockedTensor")
+	}
+	n := len(bt.Dims)
+	total := 1
+	for _, g := range bt.Grid {
+		total *= g
+	}
+	if len(bt.Blocks) != total {
+		return fmt.Errorf("%d blocks for grid %v", len(bt.Blocks), bt.Grid)
+	}
+	coord := make([]int, n)
+	covered := 0
+	for id, blk := range bt.Blocks {
+		if blk == nil {
+			continue
+		}
+		if err := validateTree(blk); err != nil {
+			return fmt.Errorf("block %d: %w", id, err)
+		}
+		// Decode the row-major block coordinates.
+		rem := id
+		for m := n - 1; m >= 0; m-- {
+			coord[m] = rem % bt.Grid[m]
+			rem /= bt.Grid[m]
+		}
+		for d := 0; d < n; d++ {
+			m := blk.ModeOrder[d]
+			name := fmt.Sprintf("level %d ids (mode %d)", d, m)
+			if err := check.IDBox(name, blk.ID[d], coord[m], bt.BlockDims[m], bt.Dims[m]); err != nil {
+				return fmt.Errorf("block %d: %w", id, err)
+			}
+		}
+		covered += blk.NNZ()
+	}
+	return check.Coverage(covered, bt.nnz)
+}

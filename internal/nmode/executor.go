@@ -3,6 +3,7 @@ package nmode
 import (
 	"fmt"
 
+	"spblock/internal/analysis/check"
 	"spblock/internal/la"
 )
 
@@ -76,6 +77,13 @@ func NewExecutor(t *Tensor, mode int, opts Options) (*Executor, error) {
 		}
 		e.csf = c
 	}
+	if check.Enabled {
+		if e.blocked != nil {
+			check.Must("nmode.NewExecutor", validateBlocked(e.blocked))
+		} else {
+			check.Must("nmode.NewExecutor", validateTree(e.csf))
+		}
+	}
 	e.initRunners()
 	return e, nil
 }
@@ -102,6 +110,8 @@ func (e *Executor) NNZ() int {
 // dims[mode] x R and is zeroed first. Steady-state calls at a fixed
 // rank are allocation-free; a rank change re-sizes the pooled buffers
 // once.
+//
+//spblock:hotpath
 func (e *Executor) Run(factors []*la.Matrix, out *la.Matrix) error {
 	if err := e.checkOperands(factors, out); err != nil {
 		return err
@@ -141,6 +151,7 @@ func (e *Executor) Run(factors []*la.Matrix, out *la.Matrix) error {
 	return nil
 }
 
+//spblock:coldpath
 func (e *Executor) checkOperands(factors []*la.Matrix, out *la.Matrix) error {
 	if len(factors) != e.order {
 		return fmt.Errorf("nmode: %d factors for order-%d tensor", len(factors), e.order)
@@ -170,6 +181,8 @@ func (e *Executor) checkOperands(factors []*la.Matrix, out *la.Matrix) error {
 
 // runAll walks every tree once with the given operands, sequentially or
 // via the prebuilt workers.
+//
+//spblock:hotpath
 func (e *Executor) runAll(factors []*la.Matrix, out *la.Matrix) {
 	ws := &e.ws
 	if len(ws.runners) == 0 {

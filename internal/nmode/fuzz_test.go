@@ -1,0 +1,125 @@
+package nmode
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTNS drives the order-N text parser with arbitrary inputs: it
+// must never panic, and whatever it accepts must validate and
+// round-trip, mirroring the order-3 parser's fuzz contract in
+// internal/tensor.
+func FuzzReadTNS(f *testing.F) {
+	seeds := []string{
+		"1 1 1 5.0\n",
+		"1 1 1 1 1 5.0\n",
+		"# dims: 3 3 3 3\n1 2 3 1 -1e4\n2 2 2 2 0.5\n",
+		"# comment\n\n10 1 1 1\n",
+		"1 1 2\n1 2 3\n",
+		"1 1 1 1\n1 1 2\n",
+		"9999999 1 1\n",
+		"1 1 nan\n",
+		"a b c d\n",
+		"# dims: 0 0\n",
+		"1 1 1e309\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := ReadTNS(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("accepted tensor fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteTNS(&buf, c); err != nil {
+			t.Fatalf("cannot re-serialise accepted tensor: %v", err)
+		}
+		back, err := ReadTNS(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted tensor failed: %v", err)
+		}
+		if back.NNZ() != c.NNZ() || back.Order() != c.Order() {
+			t.Fatalf("round trip changed shape: %v/%d vs %v/%d",
+				back.Dims, back.NNZ(), c.Dims, c.NNZ())
+		}
+	})
+}
+
+// FuzzCSFBuild decodes an arbitrary byte string into a small sparse
+// tensor, builds the CSF tree (and a blocked layout) from it, and runs
+// the spblockcheck structure oracle over the result. Build must either
+// reject the input or produce a tree satisfying every kernel
+// invariant; the oracle panicking or reporting a violation means a
+// builder bug that the kernels would silently mis-read.
+func FuzzCSFBuild(f *testing.F) {
+	f.Add([]byte{3, 4, 5, 6, 0, 1, 2, 7, 3, 3, 3, 1, 1, 1})
+	f.Add([]byte{2, 1, 1, 0, 0})
+	f.Add([]byte{4, 2, 2, 2, 2, 1, 2, 3, 0, 1, 2, 3, 0, 0, 1, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tsr := decodeTensor(data)
+		if tsr == nil {
+			return
+		}
+		if err := tsr.Validate(); err != nil {
+			return // decodeTensor aims for valid tensors, but don't insist
+		}
+		for mode := 0; mode < tsr.Order(); mode++ {
+			c, err := Build(tsr, DefaultModeOrder(tsr.Dims, mode))
+			if err != nil {
+				t.Fatalf("Build rejected a valid tensor: %v", err)
+			}
+			if err := validateTree(c); err != nil {
+				t.Fatalf("mode %d: CSF violates structure invariants: %v", mode, err)
+			}
+			grid := make([]int, tsr.Order())
+			for m := range grid {
+				grid[m] = min(2, tsr.Dims[m])
+			}
+			bt, err := BuildBlocked(tsr, grid, DefaultModeOrder(tsr.Dims, mode))
+			if err != nil {
+				t.Fatalf("BuildBlocked rejected a valid tensor: %v", err)
+			}
+			if err := validateBlocked(bt); err != nil {
+				t.Fatalf("mode %d: blocked layout violates structure invariants: %v", mode, err)
+			}
+		}
+	})
+}
+
+// decodeTensor deterministically maps a byte string onto a small
+// order-2..4 tensor: byte 0 picks the order, the next `order` bytes
+// pick the dims (1..8), and each following (order+1)-byte group is one
+// nonzero (coordinates folded into range, value from the last byte).
+// Returns nil when the prefix is too short.
+func decodeTensor(data []byte) *Tensor {
+	if len(data) < 1 {
+		return nil
+	}
+	order := 2 + int(data[0])%3
+	data = data[1:]
+	if len(data) < order {
+		return nil
+	}
+	dims := make([]int, order)
+	for m := 0; m < order; m++ {
+		dims[m] = 1 + int(data[m])%8
+	}
+	data = data[order:]
+	tsr := NewTensor(dims, len(data)/(order+1))
+	coords := make([]Index, order)
+	for len(data) >= order+1 {
+		for m := 0; m < order; m++ {
+			coords[m] = Index(int(data[m]) % dims[m])
+		}
+		v := float64(int8(data[order])) / 4
+		tsr.Append(coords, v)
+		data = data[order+1:]
+	}
+	return tsr
+}

@@ -101,6 +101,7 @@ func stripView(m *la.Matrix, w int) *la.Matrix {
 	return &la.Matrix{Rows: m.Rows, Cols: w, Stride: m.Stride, Data: m.Data}
 }
 
+//spblock:hotpath
 func packStrip(dst, src *la.Matrix, rr int) {
 	w := dst.Cols
 	for i := 0; i < dst.Rows; i++ {
@@ -108,6 +109,7 @@ func packStrip(dst, src *la.Matrix, rr int) {
 	}
 }
 
+//spblock:hotpath
 func unpackStrip(dst, src *la.Matrix, rr int) {
 	w := src.Cols
 	for i := 0; i < src.Rows; i++ {
@@ -155,6 +157,8 @@ func runOverRoots(c *CSF, factors []*la.Matrix, out *la.Matrix, _ int, workers i
 // A walker owns only its accumulators; the tree and operands are bound
 // per use, so a pooled walker can serve many trees (blocked layouts)
 // and many rank strips without reallocating.
+//
+//spblock:workspace
 type walker struct {
 	c       *CSF
 	factors []*la.Matrix
@@ -171,11 +175,13 @@ func newWalkerBufs(order, rank int) *walker {
 	for d := range w.bufs {
 		w.bufs[d] = make([]float64, rank)
 	}
-	return w
+	return w //spblock:allow constructor hands a fresh walker to its owning workspace
 }
 
 // bind points the walker at a tree and operand set. out.Cols must not
 // exceed the rank the accumulators were sized for.
+//
+//spblock:hotpath
 func (w *walker) bind(c *CSF, factors []*la.Matrix, out *la.Matrix) {
 	w.c, w.factors, w.out = c, factors, out
 	w.width = out.Cols
@@ -184,9 +190,10 @@ func (w *walker) bind(c *CSF, factors []*la.Matrix, out *la.Matrix) {
 func newWalker(c *CSF, factors []*la.Matrix, out *la.Matrix) *walker {
 	w := newWalkerBufs(c.Order(), out.Cols)
 	w.bind(c, factors, out)
-	return w
+	return w //spblock:allow constructor hands a fresh walker to its one-shot caller
 }
 
+//spblock:hotpath
 func (w *walker) roots(lo, hi int) {
 	for root := lo; root < hi; root++ {
 		w.node(0, int32(root))
@@ -200,6 +207,8 @@ func (w *walker) roots(lo, hi int) {
 
 // node fills bufs[d] with the subtree value of the given level-d node:
 // Σ over leaves below of val · ⊙_{levels e>d} U_{m_e}[id_e].
+//
+//spblock:hotpath
 func (w *walker) node(d int, nd int32) {
 	buf := w.bufs[d][:w.width]
 	clear(buf)
@@ -236,6 +245,8 @@ func (w *walker) node(d int, nd int32) {
 
 // leafAccum16 accumulates 16 columns of the leaf level into buf with
 // scalar (register) accumulators.
+//
+//spblock:hotpath
 func leafAccum16(c *CSF, leaf *la.Matrix, buf []float64, pLo, pHi, q0 int) {
 	var a0, a1, a2, a3, a4, a5, a6, a7 float64
 	var a8, a9, a10, a11, a12, a13, a14, a15 float64

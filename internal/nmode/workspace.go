@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"spblock/internal/analysis/check"
 	"spblock/internal/la"
 )
 
@@ -20,6 +21,8 @@ import (
 // strips) are sized lazily on the first Run and rebuilt only when the
 // rank changes. Ownership rule: everything here belongs to exactly one
 // Executor, which must not Run concurrently with itself.
+//
+//spblock:workspace
 type nworkspace struct {
 	// rank the rank-dependent buffers are sized for (0 = never sized).
 	rank int
@@ -58,6 +61,8 @@ type nworkspace struct {
 
 // ensure sizes the rank-dependent buffers for rank r. No-op when the
 // rank is unchanged, which is the steady state of a decomposition.
+//
+//spblock:coldpath
 func (e *Executor) ensure(r int) {
 	ws := &e.ws
 	if ws.rank == r {
@@ -70,6 +75,9 @@ func (e *Executor) ensure(r int) {
 		ws.walkers = append(ws.walkers, newWalkerBufs(e.order, r))
 	}
 	if bs := e.opts.RankBlockCols; bs > 0 && bs < r {
+		if check.Enabled {
+			check.Must("nmode.ensure", check.StripLadder(r, bs))
+		}
 		if ws.packed == nil {
 			ws.packed = make([]*la.Matrix, e.order)
 			ws.views = make([]la.Matrix, e.order)
@@ -89,6 +97,8 @@ func (e *Executor) ensure(r int) {
 // launch runs every worker body and waits. The closures were built in
 // NewExecutor and goroutine descriptors are recycled by the runtime, so
 // a steady-state launch does not allocate.
+//
+//spblock:hotpath
 func (ws *nworkspace) launch() {
 	ws.wg.Add(len(ws.runners))
 	for _, fn := range ws.runners {

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package raceflag exposes whether the enclosing binary was built with
+// the race detector, so allocation-count tests can skip themselves:
+// race instrumentation allocates on its own and makes AllocsPerRun
+// assertions meaningless.
+package raceflag
+
+// Enabled reports that this binary runs under the race detector.
+const Enabled = true
