@@ -12,6 +12,13 @@
 //	mttkrp-bench -dataset Poisson2 -rank 128
 //	mttkrp-bench -dataset Poisson4 -rank 64
 //	mttkrp-bench -in tensor.tns -rank 64 -autotune -reps 5
+//
+// With -json the run also emits a versioned BENCH record (plan, best
+// ns/op, per-run counters from the kernel instrumentation layer, worker
+// load imbalance) for CI artifacts; -baseline compares the fresh record
+// against a committed one and fails when any shared plan regresses past
+// -maxregress. For comparable records across machines, pin the sweep
+// with -autotune=false.
 package main
 
 import (
@@ -28,14 +35,17 @@ import (
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input .tns file (any order >= 2)")
-		dataset  = flag.String("dataset", "", "Table II data set name, or Poisson4, instead of -in")
-		scale    = flag.Float64("scale", 1.0, "scale for -dataset")
-		rank     = flag.Int("rank", 64, "decomposition rank R")
-		reps     = flag.Int("reps", 3, "timed repetitions (best kept)")
-		workers  = flag.Int("workers", 0, "kernel parallelism (0 = GOMAXPROCS)")
-		autotune = flag.Bool("autotune", true, "tune MB/RankB block sizes (Sec. V-C heuristic)")
-		seed     = flag.Int64("seed", 42, "generator/factor seed")
+		in         = flag.String("in", "", "input .tns file (any order >= 2)")
+		dataset    = flag.String("dataset", "", "Table II data set name, or Poisson4, instead of -in")
+		scale      = flag.Float64("scale", 1.0, "scale for -dataset")
+		rank       = flag.Int("rank", 64, "decomposition rank R")
+		reps       = flag.Int("reps", 3, "timed repetitions (best kept)")
+		workers    = flag.Int("workers", 0, "kernel parallelism (0 = GOMAXPROCS)")
+		autotune   = flag.Bool("autotune", true, "tune MB/RankB block sizes (Sec. V-C heuristic)")
+		seed       = flag.Int64("seed", 42, "generator/factor seed")
+		jsonOut    = flag.String("json", "", "also write a versioned BENCH record to this path")
+		baseline   = flag.String("baseline", "", "compare against a committed BENCH record; exit 1 on regression")
+		maxregress = flag.Float64("maxregress", 2.0, "regression threshold for -baseline (ratio over baseline ns/op)")
 	)
 	flag.Parse()
 
@@ -43,18 +53,42 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	name := *dataset
+	if name == "" {
+		name = *in
+	}
+	var rec *bench.Record
 	if nt.Order() == 3 {
 		x, err := tensor.FromNMode(nt)
 		if err != nil {
 			fatal(err)
 		}
-		bench3(x, *rank, *reps, *workers, *autotune, *seed)
-		return
+		rec = bench3(x, name, *rank, *reps, *workers, *autotune, *seed)
+	} else {
+		rec = benchN(nt, name, *rank, *reps, *workers, *seed)
 	}
-	benchN(nt, *rank, *reps, *workers, *seed)
+	if *jsonOut != "" {
+		if err := bench.WriteRecord(*jsonOut, rec); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonOut)
+	}
+	if *baseline != "" {
+		base, err := bench.LoadRecord(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if regressions := bench.CompareRecords(base, rec, *maxregress); len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "mttkrp-bench: REGRESSION:", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("no regressions past %.2fx of %s\n", *maxregress, *baseline)
+	}
 }
 
-func bench3(x *tensor.COO, rank, reps, workers int, autotune bool, seed int64) {
+func bench3(x *tensor.COO, name string, rank, reps, workers int, autotune bool, seed int64) *bench.Record {
 	stats := spblock.ComputeStats(x)
 	profile, err := tensor.ProfileTensor(x)
 	if err != nil {
@@ -90,6 +124,7 @@ func bench3(x *tensor.COO, rank, reps, workers int, autotune bool, seed int64) {
 	c := randomMatrix(x.Dims[2], rank, seed+2)
 	out := spblock.NewMatrix(x.Dims[0], rank)
 
+	rec := bench.NewRecord(name, x.Dims[:], x.NNZ(), rank, reps, workers)
 	var baseline float64
 	fmt.Printf("%-36s %10s %9s %9s\n", "plan", "time (s)", "GFLOP/s", "speedup")
 	for _, plan := range plans {
@@ -100,6 +135,7 @@ func bench3(x *tensor.COO, rank, reps, workers int, autotune bool, seed int64) {
 		if err := exec.Run(b, c, out); err != nil { // warm-up
 			fatal(err)
 		}
+		exec.Metrics().Reset() // counters cover exactly the timed window
 		sec := bench.TimeBest(reps, func() {
 			if err := exec.Run(b, c, out); err != nil {
 				panic(err)
@@ -113,14 +149,27 @@ func bench3(x *tensor.COO, rank, reps, workers int, autotune bool, seed int64) {
 		if baseline > 0 {
 			speedup = fmt.Sprintf("%.2fx", baseline/sec)
 		}
+		snap := exec.Metrics().Snapshot()
+		entry := bench.RecordEntry{
+			Plan:      plan.String(),
+			BestNS:    int64(sec * 1e9),
+			GFLOPS:    gf,
+			Imbalance: snap.Imbalance(),
+			Counters:  snap,
+		}
+		if baseline > 0 && plan.Method != spblock.MethodSPLATT {
+			entry.Speedup = baseline / sec
+		}
+		rec.Entries = append(rec.Entries, entry)
 		fmt.Printf("%-36s %10.4f %9.2f %9s\n", plan.String(), sec, gf, speedup)
 	}
+	return rec
 }
 
 // benchN times the unified order-N engine's configuration ladder on a
 // higher-order tensor: plain CSF, rank strips, a multi-dimensional
 // block grid, and the combination — each a pooled mode-0 executor.
-func benchN(t *nmode.Tensor, rank, reps, workers int, seed int64) {
+func benchN(t *nmode.Tensor, name string, rank, reps, workers int, seed int64) *bench.Record {
 	n := t.Order()
 	fmt.Printf("tensor: %v nnz=%d (order %d)\n", t.Dims, t.NNZ(), n)
 	fmt.Printf("rank:   %d\n\n", rank)
@@ -155,6 +204,7 @@ func benchN(t *nmode.Tensor, rank, reps, workers int, seed int64) {
 	}
 	out := spblock.NewMatrix(t.Dims[0], rank)
 
+	rec := bench.NewRecord(name, t.Dims, t.NNZ(), rank, reps, workers)
 	var baseline float64
 	fmt.Printf("%-36s %10s %9s %9s\n", "plan", "time (s)", "GFLOP/s", "speedup")
 	for i, row := range rows {
@@ -165,6 +215,7 @@ func benchN(t *nmode.Tensor, rank, reps, workers int, seed int64) {
 		if err := exec.Run(factors, out); err != nil { // warm-up
 			fatal(err)
 		}
+		exec.Metrics().Reset() // counters cover exactly the timed window
 		sec := bench.TimeBest(reps, func() {
 			if err := exec.Run(factors, out); err != nil {
 				panic(err)
@@ -181,8 +232,21 @@ func benchN(t *nmode.Tensor, rank, reps, workers int, seed int64) {
 		if baseline > 0 {
 			speedup = fmt.Sprintf("%.2fx", baseline/sec)
 		}
+		snap := exec.Metrics().Snapshot()
+		entry := bench.RecordEntry{
+			Plan:      row.name,
+			BestNS:    int64(sec * 1e9),
+			GFLOPS:    gf,
+			Imbalance: snap.Imbalance(),
+			Counters:  snap,
+		}
+		if i > 0 && baseline > 0 {
+			entry.Speedup = baseline / sec
+		}
+		rec.Entries = append(rec.Entries, entry)
 		fmt.Printf("%-36s %10.4f %9.2f %9s\n", row.name, sec, gf, speedup)
 	}
+	return rec
 }
 
 func loadTensor(in, dataset string, scale float64, seed int64) (*nmode.Tensor, error) {

@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"spblock/internal/la"
+	"spblock/internal/metrics"
 )
 
 // Kernel supplies the mode products for one decomposition. MTTKRP
@@ -58,6 +60,12 @@ type Result struct {
 	Fits      []float64
 	Iters     int
 	Converged bool
+	// Phases buckets the decomposition's wall time: MTTKRP dispatches
+	// (plus the memoized path's StartSweep contraction), the
+	// normal-equation solves, and the fit evaluation. Accumulated as the
+	// loop runs, so a partial result from a mid-sweep error still carries
+	// the time spent so far.
+	Phases metrics.PhaseTimes
 }
 
 // Run executes CP-ALS sweeps over k until convergence or MaxIters. On a
@@ -109,14 +117,21 @@ func Run(k Kernel, cfg Config) (*Result, error) {
 	prevFit := 0.0
 	for iter := 0; iter < cfg.MaxIters; iter++ {
 		if starter != nil {
-			if err := starter.StartSweep(res.Factors); err != nil {
+			t0 := time.Now()
+			err := starter.StartSweep(res.Factors)
+			res.Phases.MTTKRPNS += time.Since(t0).Nanoseconds()
+			if err != nil {
 				return res, err
 			}
 		}
 		for mode := 0; mode < n; mode++ {
-			if err := k.MTTKRP(mode, res.Factors, outs[mode]); err != nil {
+			t0 := time.Now()
+			err := k.MTTKRP(mode, res.Factors, outs[mode])
+			res.Phases.MTTKRPNS += time.Since(t0).Nanoseconds()
+			if err != nil {
 				return res, err
 			}
+			t0 = time.Now()
 			// V = Hadamard of all other modes' Gram matrices.
 			var v *la.Matrix
 			for other := 0; other < n; other++ {
@@ -131,6 +146,7 @@ func Run(k Kernel, cfg Config) (*Result, error) {
 			}
 			res.Factors[mode].CopyFrom(outs[mode])
 			if err := la.SolveSPD(v, res.Factors[mode]); err != nil {
+				res.Phases.SolveNS += time.Since(t0).Nanoseconds()
 				return res, fmt.Errorf("%s: mode-%d solve: %w", pfx, mode+1, err)
 			}
 			copy(res.Lambda, la.NormalizeColumns(res.Factors[mode]))
@@ -144,9 +160,12 @@ func Run(k Kernel, cfg Config) (*Result, error) {
 				}
 			}
 			grams[mode] = la.Gram(res.Factors[mode])
+			res.Phases.SolveNS += time.Since(t0).Nanoseconds()
 		}
 
+		t0 := time.Now()
 		fit := fit(cfg.NormX, res, grams, outs[n-1])
+		res.Phases.NormNS += time.Since(t0).Nanoseconds()
 		res.Fits = append(res.Fits, fit)
 		res.Iters = iter + 1
 		if iter > 0 && math.Abs(fit-prevFit) < cfg.Tol {

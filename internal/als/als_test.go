@@ -168,3 +168,31 @@ func TestRunKernelErrorReturnsPartialResult(t *testing.T) {
 		t.Fatal("partial result missing")
 	}
 }
+
+// TestRunPhaseTiming: every completed sweep accounts wall time to all
+// three phase buckets, and a mid-sweep kernel error still returns the
+// MTTKRP time spent before the failure.
+func TestRunPhaseTiming(t *testing.T) {
+	k, normX := rankOne([]int{6, 5, 4})
+	res, err := Run(k, Config{Rank: 2, MaxIters: 4, Tol: 1e-15, Seed: 2, NormX: normX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Phases
+	if p.MTTKRPNS <= 0 || p.SolveNS <= 0 || p.NormNS <= 0 {
+		t.Fatalf("phase buckets not all fed: %+v", p)
+	}
+	if s := p.MTTKRPShare(); s <= 0 || s >= 1 {
+		t.Fatalf("MTTKRP share = %v", s)
+	}
+
+	k2, normX2 := rankOne([]int{4, 3, 2})
+	k2.failMode = 1
+	res2, err := Run(k2, Config{Rank: 1, MaxIters: 5, Seed: 1, NormX: normX2})
+	if err == nil {
+		t.Fatal("injected failure not surfaced")
+	}
+	if res2.Phases.MTTKRPNS <= 0 {
+		t.Fatalf("partial result lost its phase time: %+v", res2.Phases)
+	}
+}

@@ -22,6 +22,7 @@ package autotune
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"spblock/internal/cachesim"
 	"spblock/internal/core"
@@ -90,6 +91,14 @@ func (o Options) withDefaults() Options {
 	if o.MaxGridSteps <= 0 {
 		o.MaxGridSteps = 4
 	}
+	// Pin the worker count the returned plans carry. The heuristic's
+	// measurements always ran at GOMAXPROCS when Workers was 0, but the
+	// plan recorded the raw 0 — so a caller re-running the plan on a
+	// capped executor could silently get a different parallelism than the
+	// one that was tuned.
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
@@ -138,13 +147,16 @@ func sample(t *tensor.COO, target int, seed int64) *tensor.COO {
 	rng := rand.New(rand.NewSource(seed))
 	out := tensor.NewCOO(t.Dims, target)
 	// Bernoulli sampling with the right expected count keeps the
-	// spatial distribution intact.
+	// spatial distribution intact. The draw is capped at target so an
+	// above-expectation run cannot outgrow the pre-sized capacity.
 	p := float64(target) / float64(t.NNZ())
-	for i := 0; i < t.NNZ(); i++ {
+	for i := 0; i < t.NNZ() && out.NNZ() < target; i++ {
 		if rng.Float64() < p {
 			out.Append(t.I[i], t.J[i], t.K[i], t.Val[i])
 		}
 	}
+	// Degenerate draw: keep one real nonzero so downstream builders see a
+	// non-empty tensor with the original Dims.
 	if out.NNZ() == 0 {
 		out.Append(t.I[0], t.J[0], t.K[0], t.Val[0])
 	}
@@ -249,7 +261,14 @@ func tuneWithModel(t *tensor.COO, rank int, method core.Method, opts Options) (R
 		}
 	}
 	if method == core.MethodRankB || method == core.MethodMBRankB {
-		for bs := core.RegisterBlockWidth; bs < rank; bs *= 2 {
+		// Walk the strip ladder in RegisterBlockWidth increments, capped
+		// at the rank, exactly like the exhaustive sweep. The kernels only
+		// ever run strips in register-width multiples, so doubling
+		// (16, 32, 64, ...) skipped the in-between widths the exhaustive
+		// search could pick (48 at rank 64), and `bs < rank` meant a
+		// rank <= RegisterBlockWidth search evaluated no strip at all —
+		// the strategies could never agree on small ranks.
+		for bs := min(core.RegisterBlockWidth, rank); bs <= rank; bs += core.RegisterBlockWidth {
 			cand := best
 			cand.RankBlockCols = bs
 			if c := eval(cand); c < bestCost {

@@ -2,6 +2,7 @@ package autotune
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"spblock/internal/core"
@@ -165,6 +166,117 @@ func TestExhaustiveIsTheCeiling(t *testing.T) {
 	}
 	t.Logf("exhaustive %v (%.3g) vs greedy %v (%.3g), %d vs %d evals",
 		exh.Plan, ce, greedy.Plan, cg, exh.Evaluated, greedy.Evaluated)
+}
+
+func TestModelStripWalkMatchesExhaustive(t *testing.T) {
+	// Regression: tuneWithModel walked the rank strips as bs *= 2
+	// (16, 32, 64, ...) while the exhaustive sweep walks register-width
+	// increments (16, 32, 48, ...), so the model could never evaluate —
+	// let alone pick — the in-between widths, and at rank <= 16 it
+	// evaluated no strip at all. The two strategies share one cost model
+	// and one sample, so on a pure rank-blocking search the model's
+	// chosen plan must now price exactly at the exhaustive optimum.
+	rng := rand.New(rand.NewSource(7))
+	x := randCOO(rng, tensor.Dims{32, 1024, 32}, 20000)
+	rank := 64
+	opts := Options{Seed: 4}
+
+	exh, err := Tune(x, rank, core.MethodRankB, StrategyExhaustive, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Tune(x, rank, core.MethodRankB, StrategyModel, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model must have walked the full register-width ladder.
+	seen := map[int]bool{}
+	for _, tr := range mod.Trials {
+		seen[tr.Plan.RankBlockCols] = true
+	}
+	for bs := core.RegisterBlockWidth; bs < rank; bs += core.RegisterBlockWidth {
+		if !seen[bs] {
+			t.Fatalf("model never evaluated strip width %d (trials: %v)", bs, seen)
+		}
+	}
+	cost, err := ModelCost(x, rank, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, cm := cost(exh.Plan), cost(mod.Plan)
+	if cm != ce {
+		t.Fatalf("model plan %v costs %v, exhaustive plan %v costs %v — same ladder, same model, must agree",
+			mod.Plan, cm, exh.Plan, ce)
+	}
+}
+
+func TestModelEvaluatesStripAtSmallRank(t *testing.T) {
+	// Regression: with bs *= 2; bs < rank, a rank <= RegisterBlockWidth
+	// search body never ran, so StrategyModel on MethodRankB degenerated
+	// to pricing only the unstripped baseline.
+	rng := rand.New(rand.NewSource(8))
+	x := randCOO(rng, tensor.Dims{32, 256, 32}, 5000)
+	rank := core.RegisterBlockWidth
+	res, err := Tune(x, rank, core.MethodRankB, StrategyModel, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stripTrials int
+	for _, tr := range res.Trials {
+		if tr.Plan.RankBlockCols > 0 {
+			stripTrials++
+		}
+	}
+	if stripTrials == 0 {
+		t.Fatalf("rank %d search evaluated no strip candidate (%d trials)", rank, len(res.Trials))
+	}
+}
+
+func TestTuneNormalizesWorkers(t *testing.T) {
+	// Regression: withDefaults never defaulted Workers, so returned plans
+	// carried Workers: 0 while the heuristic's measurements ran at
+	// GOMAXPROCS — re-running the tuned plan could use a different
+	// parallelism than the one that was actually measured.
+	rng := rand.New(rand.NewSource(9))
+	x := randCOO(rng, tensor.Dims{16, 32, 16}, 800)
+	want := runtime.GOMAXPROCS(0)
+	for _, s := range []Strategy{StrategyHeuristic, StrategyModel, StrategyExhaustive} {
+		res, err := Tune(x, 32, core.MethodRankB, s, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if res.Plan.Workers != want {
+			t.Fatalf("%v: plan.Workers = %d, want GOMAXPROCS %d", s, res.Plan.Workers, want)
+		}
+	}
+	// An explicit worker count passes through untouched.
+	res, err := Tune(x, 32, core.MethodRankB, StrategyModel, Options{Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Workers != 2 {
+		t.Fatalf("plan.Workers = %d, want explicit 2", res.Plan.Workers)
+	}
+}
+
+func TestSampleNeverOutgrowsTarget(t *testing.T) {
+	// Regression: the Bernoulli draw has expected count == target, so
+	// about half of all seeds used to overflow the pre-sized capacity and
+	// silently reallocate; the draw is now capped at target.
+	rng := rand.New(rand.NewSource(10))
+	big := randCOO(rng, tensor.Dims{50, 50, 50}, 30000)
+	for seed := int64(0); seed < 20; seed++ {
+		sub := sample(big, 1000, seed)
+		if sub.NNZ() > 1000 {
+			t.Fatalf("seed %d: sample has %d nonzeros, cap is 1000", seed, sub.NNZ())
+		}
+		if sub.Dims != big.Dims {
+			t.Fatalf("seed %d: sample changed dims", seed)
+		}
+		if err := sub.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
 }
 
 func TestHeuristicStrategyDelegates(t *testing.T) {

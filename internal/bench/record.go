@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"spblock/internal/metrics"
+)
+
+// RecordSchemaVersion is the current BENCH_*.json schema. Bump it when
+// a field changes meaning; readers reject records from other versions
+// instead of silently comparing incompatible quantities.
+const RecordSchemaVersion = 1
+
+// Record is one mttkrp-bench run in machine-readable form: the input
+// tensor, the sweep configuration, and one entry per timed plan. CI
+// stores these as artifacts and compares fresh runs against a committed
+// baseline record.
+type Record struct {
+	// Schema is the record format version (RecordSchemaVersion).
+	Schema int `json:"schema"`
+	// Tool identifies the producer ("mttkrp-bench").
+	Tool string `json:"tool"`
+	// Dataset names the input (-dataset name or -in path).
+	Dataset string `json:"dataset"`
+	// Dims and NNZ describe the benchmarked tensor.
+	Dims []int `json:"dims"`
+	NNZ  int   `json:"nnz"`
+	// Rank, Reps and Workers echo the sweep configuration.
+	Rank    int `json:"rank"`
+	Reps    int `json:"reps"`
+	Workers int `json:"workers"`
+	// GoMaxProcs records the host parallelism the run actually had.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Entries holds one timed result per plan, in sweep order.
+	Entries []RecordEntry `json:"entries"`
+}
+
+// RecordEntry is one timed plan of a Record.
+type RecordEntry struct {
+	// Plan is the plan's canonical string form — the comparison key
+	// between a fresh run and the baseline.
+	Plan string `json:"plan"`
+	// BestNS is the fastest repetition's wall time in nanoseconds.
+	BestNS int64 `json:"best_ns"`
+	// GFLOPS is the Equation 2 throughput at BestNS.
+	GFLOPS float64 `json:"gflops"`
+	// Speedup is BestNS relative to the sweep's baseline plan (0 when
+	// the entry is itself the baseline or no baseline ran).
+	Speedup float64 `json:"speedup,omitempty"`
+	// Imbalance is the max/mean worker busy-time ratio over the timed
+	// window (1 = balanced or sequential).
+	Imbalance float64 `json:"imbalance,omitempty"`
+	// Counters is the executor's metrics snapshot over the timed window
+	// (warm-up excluded).
+	Counters metrics.Snapshot `json:"counters"`
+}
+
+// NewRecord starts a record with the schema and host fields filled in.
+func NewRecord(dataset string, dims []int, nnz, rank, reps, workers int) *Record {
+	return &Record{
+		Schema:     RecordSchemaVersion,
+		Tool:       "mttkrp-bench",
+		Dataset:    dataset,
+		Dims:       dims,
+		NNZ:        nnz,
+		Rank:       rank,
+		Reps:       reps,
+		Workers:    workers,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+}
+
+// WriteRecord writes r as indented JSON to path.
+func WriteRecord(path string, r *Record) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadRecord reads a record back and rejects unknown schema versions.
+func LoadRecord(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if r.Schema != RecordSchemaVersion {
+		return nil, fmt.Errorf("bench: %s: schema %d, want %d", path, r.Schema, RecordSchemaVersion)
+	}
+	return &r, nil
+}
+
+// CompareRecords checks cur against base plan by plan and returns one
+// message per regression: a plan whose best time exceeds the baseline's
+// by more than maxRatio. Plans present in only one record are skipped —
+// the sweep composition may legitimately change — and maxRatio is
+// deliberately generous because CI machines are noisy; the check exists
+// to catch order-of-magnitude breakage, not 5% drift.
+func CompareRecords(base, cur *Record, maxRatio float64) []string {
+	if maxRatio <= 0 {
+		maxRatio = 2
+	}
+	baseline := make(map[string]RecordEntry, len(base.Entries))
+	for _, e := range base.Entries {
+		baseline[e.Plan] = e
+	}
+	var regressions []string
+	for _, e := range cur.Entries {
+		b, ok := baseline[e.Plan]
+		if !ok || b.BestNS <= 0 {
+			continue
+		}
+		if ratio := float64(e.BestNS) / float64(b.BestNS); ratio > maxRatio {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d ns vs baseline %d ns (%.2fx > %.2fx limit)",
+					e.Plan, e.BestNS, b.BestNS, ratio, maxRatio))
+		}
+	}
+	return regressions
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"spblock/internal/metrics"
+)
+
+func testRecord() *Record {
+	r := NewRecord("Poisson1", []int{64, 64, 64}, 5000, 32, 3, 1)
+	r.GoMaxProcs = 8 // pin the host-dependent field for golden comparison
+	r.Entries = []RecordEntry{
+		{
+			Plan:      "splatt(w=1)",
+			BestNS:    123456,
+			GFLOPS:    1.5,
+			Imbalance: 1,
+			Counters: metrics.Snapshot{
+				Runs: 3, NNZ: 15000, Fibers: 3000, Strips: 0,
+				BytesEst: 2400000, WallNS: 370368, WorkerNS: []int64{370368},
+			},
+		},
+		{
+			Plan:      "rankb(bs=16,w=1)",
+			BestNS:    98765,
+			GFLOPS:    1.9,
+			Speedup:   1.25,
+			Imbalance: 1,
+			Counters: metrics.Snapshot{
+				Runs: 3, NNZ: 30000, Fibers: 6000, Strips: 6,
+				BytesEst: 3100000, WallNS: 296295, WorkerNS: []int64{296295},
+			},
+		},
+	}
+	return r
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec := testRecord()
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteRecord(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec, back) {
+		t.Fatalf("round trip changed record:\nwrote %+v\nread  %+v", rec, back)
+	}
+}
+
+func TestRecordSchemaVersionEnforced(t *testing.T) {
+	rec := testRecord()
+	rec.Schema = RecordSchemaVersion + 1
+	path := filepath.Join(t.TempDir(), "BENCH_future.json")
+	if err := WriteRecord(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRecord(path); err == nil {
+		t.Fatal("unknown schema version accepted")
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRecord(path); err == nil {
+		t.Fatal("malformed record accepted")
+	}
+}
+
+// TestRecordGolden pins the serialised schema: a change to any JSON key
+// or to the document shape must show up as a diff against the committed
+// golden file, forcing a conscious schema-version bump.
+func TestRecordGolden(t *testing.T) {
+	rec := testRecord()
+	got, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "BENCH_golden.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("BENCH record schema drifted from %s.\nIf the change is intended, bump RecordSchemaVersion and regenerate the golden file.\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+	// The version field must be spelled "schema" — the key CI reads
+	// before trusting anything else in the document.
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(got, &top); err != nil {
+		t.Fatal(err)
+	}
+	if string(top["schema"]) != "1" {
+		t.Fatalf(`"schema" field = %s, want 1`, top["schema"])
+	}
+}
+
+func TestCompareRecords(t *testing.T) {
+	base := testRecord()
+	cur := testRecord()
+	if regs := CompareRecords(base, cur, 2.0); len(regs) != 0 {
+		t.Fatalf("identical records regressed: %v", regs)
+	}
+	// Within threshold: 1.5x is fine at a 2x limit.
+	cur.Entries[0].BestNS = base.Entries[0].BestNS * 3 / 2
+	if regs := CompareRecords(base, cur, 2.0); len(regs) != 0 {
+		t.Fatalf("1.5x flagged at a 2x limit: %v", regs)
+	}
+	// Past threshold: 3x must be flagged, and the message names the plan.
+	cur.Entries[0].BestNS = base.Entries[0].BestNS * 3
+	regs := CompareRecords(base, cur, 2.0)
+	if len(regs) != 1 || !strings.Contains(regs[0], cur.Entries[0].Plan) {
+		t.Fatalf("3x regression not reported properly: %v", regs)
+	}
+	// Plans absent from the baseline are skipped, not flagged.
+	cur.Entries[0].Plan = "brand-new-plan"
+	if regs := CompareRecords(base, cur, 2.0); len(regs) != 0 {
+		t.Fatalf("unmatched plan flagged: %v", regs)
+	}
+	// maxRatio <= 0 falls back to the generous 2x default.
+	cur = testRecord()
+	cur.Entries[1].BestNS = base.Entries[1].BestNS * 3
+	if regs := CompareRecords(base, cur, 0); len(regs) != 1 {
+		t.Fatalf("default threshold broken: %v", regs)
+	}
+}

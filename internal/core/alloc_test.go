@@ -53,6 +53,7 @@ func TestRunSteadyStateAllocations(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
+		e.Metrics().Reset()
 		allocs := testing.AllocsPerRun(20, func() {
 			if err := e.Run(b, c, out); err != nil {
 				t.Fatal(err)
@@ -60,6 +61,23 @@ func TestRunSteadyStateAllocations(t *testing.T) {
 		})
 		if allocs != 0 {
 			t.Errorf("%v: %.2f allocs per steady-state Run, want 0", plan, allocs)
+		}
+		// The instrumentation layer must have been *collecting* during
+		// those zero-alloc runs — an accidentally-dead collector would
+		// pass the alloc check trivially.
+		snap := e.Metrics().Snapshot()
+		if snap.Runs < 20 {
+			t.Errorf("%v: collector saw %d runs during the alloc window", plan, snap.Runs)
+		}
+		if snap.NNZ <= 0 || snap.BytesEst <= 0 || snap.WallNS <= 0 {
+			t.Errorf("%v: degenerate counters while collecting: %+v", plan, snap)
+		}
+		var workerNS int64
+		for _, ns := range snap.WorkerNS {
+			workerNS += ns
+		}
+		if workerNS <= 0 {
+			t.Errorf("%v: no worker time recorded: %v", plan, snap.WorkerNS)
 		}
 	}
 }

@@ -17,9 +17,11 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"spblock/internal/analysis/check"
 	"spblock/internal/la"
+	"spblock/internal/metrics"
 	"spblock/internal/tensor"
 )
 
@@ -141,7 +143,8 @@ type Executor struct {
 	blocked *BlockedTensor // for MB / MB+RankB
 	coo     *tensor.COO    // for COO
 
-	ws workspace
+	ws  workspace
+	met metrics.Collector
 }
 
 // NewExecutor preprocesses t according to plan. The input tensor is
@@ -186,11 +189,17 @@ func NewExecutor(t *tensor.COO, plan Plan) (*Executor, error) {
 		}
 	}
 	e.initRunners()
+	e.met.SizeWorkers(len(e.ws.runners))
 	return e, nil
 }
 
 // Plan returns the executor's plan.
 func (e *Executor) Plan() Plan { return e.plan }
+
+// Metrics returns the executor's instrumentation collector: per-Run
+// counters and per-worker time buckets, always collecting. Snapshot it
+// between Runs, never mid-Run.
+func (e *Executor) Metrics() *metrics.Collector { return &e.met }
 
 // Dims returns the tensor shape.
 func (e *Executor) Dims() tensor.Dims { return e.dims }
@@ -207,6 +216,7 @@ func (e *Executor) Run(b, c, out *la.Matrix) error {
 		return err
 	}
 	e.ensure(out.Cols)
+	start := time.Now()
 	out.Zero()
 	switch e.plan.Method {
 	case MethodCOO:
@@ -223,6 +233,7 @@ func (e *Executor) Run(b, c, out *la.Matrix) error {
 	case MethodMB:
 		e.runMB(b, c, out, 0)
 	}
+	e.met.EndRun(start)
 	return nil
 }
 

@@ -3,9 +3,11 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"spblock/internal/analysis/check"
 	"spblock/internal/la"
+	"spblock/internal/metrics"
 )
 
 // workspace owns every buffer an Executor's kernels touch besides the
@@ -100,6 +102,44 @@ func (e *Executor) ensure(r int) {
 			ws.oPack = la.NewMatrix(e.dims[0], bs)
 		}
 	}
+	e.met.SetPerRun(e.perRunMetrics(r))
+}
+
+// perRunMetrics derives the per-Run counter deltas from the
+// preprocessed structure at rank r — a pure function of (structure,
+// rank, strip width), recomputed only on the amortised resize path so
+// EndRun's hot path is constant-count integer adds.
+//
+//spblock:coldpath
+func (e *Executor) perRunMetrics(r int) metrics.PerRun {
+	var nnz, fibers, blocks int64
+	switch {
+	case e.coo != nil:
+		nnz = int64(e.coo.NNZ())
+	case e.csf != nil:
+		nnz = int64(e.csf.NNZ())
+		fibers = int64(e.csf.NumFibers())
+	case e.blocked != nil:
+		nnz = int64(e.blocked.NNZ())
+		for _, blk := range e.blocked.Blocks {
+			if blk != nil {
+				fibers += int64(blk.NumFibers())
+				blocks++
+			}
+		}
+	}
+	strips := 0
+	if bs := e.rankBlock(r); bs < r {
+		strips = (r + bs - 1) / bs
+	}
+	walks := int64(max(strips, 1))
+	return metrics.PerRun{
+		NNZ:      nnz * walks,
+		Fibers:   fibers * walks,
+		Blocks:   blocks * walks,
+		Strips:   int64(strips),
+		BytesEst: metrics.EqBytes(nnz, fibers, r, int(walks)),
+	}
 }
 
 // publish records the operands the pre-built worker closures read.
@@ -136,9 +176,11 @@ func (e *Executor) initRunners() {
 			w := w
 			ws.runners = append(ws.runners, func() {
 				defer ws.wg.Done()
+				t0 := time.Now()
 				priv := ws.privates[w]
 				priv.Zero()
 				cooRange(e.coo, ws.b, ws.c, priv, ws.ranges[w][0], ws.ranges[w][1])
+				e.met.AddWorkerTime(w, time.Since(t0))
 			})
 		}
 	case MethodSPLATT:
@@ -151,8 +193,10 @@ func (e *Executor) initRunners() {
 			w := w
 			ws.runners = append(ws.runners, func() {
 				defer ws.wg.Done()
+				t0 := time.Now()
 				sh := ws.shares[w]
 				splattRange(e.csf, ws.b, ws.c, ws.out, ws.accums[w][:ws.out.Cols], sh[0], sh[1])
+				e.met.AddWorkerTime(w, time.Since(t0))
 			})
 		}
 	case MethodRankB:
@@ -165,8 +209,10 @@ func (e *Executor) initRunners() {
 			w := w
 			ws.runners = append(ws.runners, func() {
 				defer ws.wg.Done()
+				t0 := time.Now()
 				sh := ws.shares[w]
 				rankBRange(e.csf, ws.b, ws.c, ws.out, ws.bs, sh[0], sh[1])
+				e.met.AddWorkerTime(w, time.Since(t0))
 			})
 		}
 	case MethodMB, MethodMBRankB:
@@ -180,10 +226,12 @@ func (e *Executor) initRunners() {
 			w := w
 			ws.runners = append(ws.runners, func() {
 				defer ws.wg.Done()
+				t0 := time.Now()
 				grid0 := int64(e.blocked.Grid[0])
 				for {
 					bi := ws.nextLayer.Add(1) - 1
 					if bi >= grid0 {
+						e.met.AddWorkerTime(w, time.Since(t0))
 						return
 					}
 					mbLayer(e.blocked, ws.b, ws.c, ws.out, ws.bs, int(bi), ws.accums[w][:ws.out.Cols])

@@ -18,6 +18,7 @@ import (
 	"spblock/internal/engine"
 	"spblock/internal/la"
 	"spblock/internal/memo"
+	"spblock/internal/metrics"
 	"spblock/internal/tensor"
 )
 
@@ -68,6 +69,9 @@ type Result struct {
 	Fits      []float64
 	Iters     int
 	Converged bool
+	// Phases buckets the decomposition's wall time by phase (MTTKRP vs
+	// solve vs fit) — see metrics.PhaseTimes.
+	Phases metrics.PhaseTimes
 }
 
 // Fit returns the final fit, or 0 before any sweep ran.
@@ -167,6 +171,7 @@ func CPALS(t *tensor.COO, opts Options) (*Result, error) {
 		Fits:      ares.Fits,
 		Iters:     ares.Iters,
 		Converged: ares.Converged,
+		Phases:    ares.Phases,
 	}
 	copy(res.Factors[:], ares.Factors)
 	return res, aerr

@@ -7,6 +7,7 @@ import (
 	"spblock/internal/als"
 	"spblock/internal/engine"
 	"spblock/internal/la"
+	"spblock/internal/metrics"
 	"spblock/internal/nmode"
 )
 
@@ -33,6 +34,9 @@ type NResult struct {
 	Fits      []float64
 	Iters     int
 	Converged bool
+	// Phases buckets the decomposition's wall time by phase (MTTKRP vs
+	// solve vs fit) — see metrics.PhaseTimes.
+	Phases metrics.PhaseTimes
 }
 
 // Fit returns the final fit, or 0 before any sweep ran.
@@ -102,5 +106,6 @@ func CPALSN(t *nmode.Tensor, opts NOptions) (*NResult, error) {
 		Fits:      ares.Fits,
 		Iters:     ares.Iters,
 		Converged: ares.Converged,
+		Phases:    ares.Phases,
 	}, aerr
 }

@@ -7,6 +7,7 @@ import (
 	"spblock/internal/als"
 	"spblock/internal/engine"
 	"spblock/internal/la"
+	"spblock/internal/metrics"
 	"spblock/internal/tensor"
 )
 
@@ -38,6 +39,10 @@ type CPResult struct {
 	// CommBytes accumulates point-to-point payload bytes across all
 	// MTTKRP calls.
 	CommBytes int64
+	// Phases buckets the driver-side wall time by phase (MTTKRP vs solve
+	// vs fit) — see metrics.PhaseTimes. The MTTKRP bucket measures the
+	// in-process simulation, not the modeled cluster time.
+	Phases metrics.PhaseTimes
 }
 
 // Fit returns the final fit, or 0 before any sweep ran.
@@ -128,5 +133,6 @@ func CPALS(t *tensor.COO, cfg Config, opts CPOptions) (*CPResult, error) {
 	res.Fits = ares.Fits
 	res.Iters = ares.Iters
 	res.Converged = ares.Converged
+	res.Phases = ares.Phases
 	return res, aerr
 }

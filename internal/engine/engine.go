@@ -19,6 +19,7 @@ import (
 
 	"spblock/internal/core"
 	"spblock/internal/la"
+	"spblock/internal/metrics"
 	"spblock/internal/tensor"
 )
 
@@ -173,6 +174,16 @@ func (m *MultiModeExecutor) Run(n int, factors [3]*la.Matrix, out *la.Matrix) er
 // to drive the B/C operands themselves.
 func (m *MultiModeExecutor) Executor(n int) (*core.Executor, error) {
 	return m.executor(n)
+}
+
+// Metrics returns mode n's instrumentation collector (see
+// core.Executor.Metrics). Each mode's executor collects independently.
+func (m *MultiModeExecutor) Metrics(n int) (*metrics.Collector, error) {
+	e, err := m.executor(n)
+	if err != nil {
+		return nil, err
+	}
+	return e.Metrics(), nil
 }
 
 //spblock:coldpath

@@ -5,6 +5,7 @@ import (
 
 	"spblock/internal/core"
 	"spblock/internal/la"
+	"spblock/internal/metrics"
 	"spblock/internal/nmode"
 	"spblock/internal/tensor"
 )
@@ -103,6 +104,11 @@ func planFromNOptions(opts nmode.Options, dims []int) (core.Plan, error) {
 		RankBlockCols: opts.RankBlockCols,
 		Grid:          [3]int{1, 1, 1},
 	}
+	// Match the generic nmode.NewExecutor validation: a negative strip
+	// width must not silently select SPLATT on the order-3 fast path.
+	if opts.RankBlockCols < 0 {
+		return plan, fmt.Errorf("engine: negative RankBlockCols %d", opts.RankBlockCols)
+	}
 	blocked := false
 	if len(opts.Grid) != 0 {
 		if len(opts.Grid) != 3 {
@@ -154,6 +160,21 @@ func (e *NEngine) Run(mode int, factors []*la.Matrix, out *la.Matrix) error {
 		return fmt.Errorf("engine: mode %d was not requested at construction", mode) //spblock:allow misuse error path, never taken by a decomposition sweep
 	}
 	return e.execs[mode].Run(factors, out)
+}
+
+// Metrics returns mode `mode`'s instrumentation collector, whichever
+// executor family (order-3 fast path or generic N-mode) serves it.
+func (e *NEngine) Metrics(mode int) (*metrics.Collector, error) {
+	if mode < 0 || mode >= len(e.dims) {
+		return nil, fmt.Errorf("engine: mode %d out of range [0,%d)", mode, len(e.dims))
+	}
+	if e.fast != nil {
+		return e.fast.Metrics(mode)
+	}
+	if e.execs[mode] == nil {
+		return nil, fmt.Errorf("engine: mode %d was not requested at construction", mode)
+	}
+	return e.execs[mode].Metrics(), nil
 }
 
 // Order returns the number of modes.

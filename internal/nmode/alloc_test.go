@@ -53,6 +53,7 @@ func TestExecutorSteadyStateAllocations(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
+		e.Metrics().Reset()
 		allocs := testing.AllocsPerRun(20, func() {
 			if err := e.Run(factors, out); err != nil {
 				t.Fatal(err)
@@ -60,6 +61,19 @@ func TestExecutorSteadyStateAllocations(t *testing.T) {
 		})
 		if allocs != 0 {
 			t.Errorf("%+v: %.2f allocs per steady-state Run, want 0", opts, allocs)
+		}
+		// The collector must have been live during the zero-alloc window
+		// (see the order-3 twin of this assertion).
+		snap := e.Metrics().Snapshot()
+		if snap.Runs < 20 || snap.NNZ <= 0 || snap.BytesEst <= 0 || snap.WallNS <= 0 {
+			t.Errorf("%+v: collector dead or degenerate during alloc window: %+v", opts, snap)
+		}
+		var workerNS int64
+		for _, ns := range snap.WorkerNS {
+			workerNS += ns
+		}
+		if workerNS <= 0 {
+			t.Errorf("%+v: no worker time recorded: %v", opts, snap.WorkerNS)
 		}
 	}
 }

@@ -2,9 +2,11 @@ package nmode
 
 import (
 	"fmt"
+	"time"
 
 	"spblock/internal/analysis/check"
 	"spblock/internal/la"
+	"spblock/internal/metrics"
 )
 
 // Executor owns the preprocessed structures and pooled workspace for
@@ -32,7 +34,8 @@ type Executor struct {
 	// so layers are the parallel work units of the blocked path.
 	layers [][]*CSF
 
-	ws nworkspace
+	ws  nworkspace
+	met metrics.Collector
 }
 
 // NewExecutor preprocesses t for mode-`mode` MTTKRP products under
@@ -51,6 +54,9 @@ func NewExecutor(t *Tensor, mode int, opts Options) (*Executor, error) {
 	}
 	if opts.Workers < 0 {
 		return nil, fmt.Errorf("nmode: negative worker count %d", opts.Workers)
+	}
+	if opts.RankBlockCols < 0 {
+		return nil, fmt.Errorf("nmode: negative RankBlockCols %d", opts.RankBlockCols)
 	}
 	e := &Executor{
 		dims:  append([]int(nil), t.Dims...),
@@ -85,11 +91,17 @@ func NewExecutor(t *Tensor, mode int, opts Options) (*Executor, error) {
 		}
 	}
 	e.initRunners()
+	e.met.SizeWorkers(len(e.ws.runners))
 	return e, nil
 }
 
 // Mode returns the output mode this executor serves.
 func (e *Executor) Mode() int { return e.mode }
+
+// Metrics returns the executor's instrumentation collector: per-Run
+// counters and per-worker time buckets, always collecting. Snapshot it
+// between Runs, never mid-Run.
+func (e *Executor) Metrics() *metrics.Collector { return &e.met }
 
 // Dims returns the tensor shape.
 func (e *Executor) Dims() []int { return e.dims }
@@ -118,13 +130,16 @@ func (e *Executor) Run(factors []*la.Matrix, out *la.Matrix) error {
 	}
 	r := out.Cols
 	e.ensure(r)
+	start := time.Now()
 	out.Zero()
 	if e.NNZ() == 0 {
+		e.met.EndRun(start)
 		return nil
 	}
 	bs := e.opts.RankBlockCols
 	if bs <= 0 || bs >= r {
 		e.runAll(factors, out)
+		e.met.EndRun(start)
 		return nil
 	}
 	// Rank strips (Sec. V-B): pack each operand strip into the pooled
@@ -148,6 +163,7 @@ func (e *Executor) Run(factors []*la.Matrix, out *la.Matrix) error {
 		e.runAll(ws.pf, po)
 		unpackStrip(out, po, rr)
 	}
+	e.met.EndRun(start)
 	return nil
 }
 

@@ -4,9 +4,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"spblock/internal/analysis/check"
 	"spblock/internal/la"
+	"spblock/internal/metrics"
 )
 
 // nworkspace owns every buffer the N-mode kernels touch beyond the
@@ -92,6 +94,41 @@ func (e *Executor) ensure(r int) {
 		}
 		ws.oPack = la.NewMatrix(e.dims[e.mode], bs)
 	}
+	e.met.SetPerRun(e.perRunMetrics(r))
+}
+
+// perRunMetrics derives the per-Run counter deltas from the
+// preprocessed structure at rank r, on the amortised resize path (the
+// same split internal/core uses): "fibers" are the parents of the leaf
+// level, the N-mode generalisation of the order-3 fiber epilogue.
+//
+//spblock:coldpath
+func (e *Executor) perRunMetrics(r int) metrics.PerRun {
+	var nnz, fibers, blocks int64
+	if e.blocked != nil {
+		nnz = int64(e.blocked.NNZ())
+		for _, layer := range e.layers {
+			for _, blk := range layer {
+				fibers += int64(blk.NumNodes(blk.Order() - 2))
+				blocks++
+			}
+		}
+	} else {
+		nnz = int64(e.csf.NNZ())
+		fibers = int64(e.csf.NumNodes(e.order - 2))
+	}
+	strips := 0
+	if bs := e.opts.RankBlockCols; bs > 0 && bs < r {
+		strips = (r + bs - 1) / bs
+	}
+	walks := int64(max(strips, 1))
+	return metrics.PerRun{
+		NNZ:      nnz * walks,
+		Fibers:   fibers * walks,
+		Blocks:   blocks * walks,
+		Strips:   int64(strips),
+		BytesEst: metrics.EqBytes(nnz, fibers, r, int(walks)),
+	}
 }
 
 // launch runs every worker body and waits. The closures were built in
@@ -129,10 +166,12 @@ func (e *Executor) initRunners() {
 			w := w
 			ws.runners = append(ws.runners, func() {
 				defer ws.wg.Done()
+				t0 := time.Now()
 				wk := ws.walkers[w]
 				for {
 					li := ws.nextLayer.Add(1) - 1
 					if li >= layers {
+						e.met.AddWorkerTime(w, time.Since(t0))
 						return
 					}
 					for _, blk := range e.layers[li] {
@@ -153,10 +192,12 @@ func (e *Executor) initRunners() {
 		w := w
 		ws.runners = append(ws.runners, func() {
 			defer ws.wg.Done()
+			t0 := time.Now()
 			sh := ws.shares[w]
 			wk := ws.walkers[w]
 			wk.bind(e.csf, ws.factors, ws.out)
 			wk.roots(sh[0], sh[1])
+			e.met.AddWorkerTime(w, time.Since(t0))
 		})
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"spblock/internal/engine"
 	"spblock/internal/gen"
 	"spblock/internal/la"
+	"spblock/internal/metrics"
 	"spblock/internal/mpi"
 	"spblock/internal/nmode"
 	"spblock/internal/tensor"
@@ -56,6 +57,17 @@ type (
 	Method = core.Method
 	// Executor owns preprocessed structures and runs MTTKRP repeatedly.
 	Executor = core.Executor
+	// KernelMetrics is the always-on, allocation-free instrumentation
+	// collector every executor carries; reach it via Executor.Metrics,
+	// MultiExecutor.Metrics or MultiExecutorN.Metrics.
+	KernelMetrics = metrics.Collector
+	// KernelSnapshot is a point-in-time copy of a collector's counters
+	// with the derived report quantities (ns/run, load imbalance,
+	// achieved GB/s against the Equation 1 traffic estimate).
+	KernelSnapshot = metrics.Snapshot
+	// PhaseTimes buckets a decomposition's wall time by phase (MTTKRP vs
+	// solve vs fit); CPALS, CPALSN and DistCPALS results carry one.
+	PhaseTimes = metrics.PhaseTimes
 	// MultiExecutor serves MTTKRP for several modes of one tensor,
 	// building each mode's permuted executor exactly once.
 	MultiExecutor = engine.MultiModeExecutor
