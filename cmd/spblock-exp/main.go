@@ -14,6 +14,7 @@
 //	spblock-exp -exp fig6                 # speedup over SPLATT
 //	spblock-exp -exp fig6traffic          # simulated DRAM traffic view
 //	spblock-exp -exp table3               # distributed 3D vs 4D
+//	spblock-exp -exp chaos                # CP-ALS under injected faults
 //	spblock-exp -exp all                  # everything
 //
 // -scale shrinks or grows the data sets (1.0 = the registry's bench
@@ -34,7 +35,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig2|table1|table2|fig4|fig5|fig5traffic|fig6|fig6traffic|table3|tuning|all")
+		exp     = flag.String("exp", "all", "experiment: fig2|table1|table2|fig4|fig5|fig5traffic|fig6|fig6traffic|table3|chaos|tuning|all")
 		scale   = flag.Float64("scale", 1.0, "data-set scale factor (1.0 = bench scale)")
 		reps    = flag.Int("reps", 3, "timed repetitions per measurement (best kept)")
 		workers = flag.Int("workers", 0, "kernel parallelism (0 = GOMAXPROCS)")
@@ -45,6 +46,10 @@ func main() {
 		nodes   = flag.String("nodes", "", "comma-separated node list for table3 (default 1..64)")
 		sets    = flag.String("datasets", "", "comma-separated dataset list for fig6")
 		trRank  = flag.Int("trafficrank", 128, "rank for fig6traffic")
+
+		chaosKinds = flag.String("chaos-kinds", "", "comma-separated fault kinds for chaos (default none,drop,dup,corrupt,delay,stall,crash)")
+		chaosRate  = flag.Float64("chaos-rate", 0.02, "per-message fault probability for chaos link faults")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "fault-schedule seed for chaos")
 	)
 	flag.Parse()
 
@@ -65,6 +70,10 @@ func main() {
 	if *sets != "" {
 		setList = strings.Split(*sets, ",")
 	}
+	var kindList []string
+	if *chaosKinds != "" {
+		kindList = strings.Split(*chaosKinds, ",")
+	}
 
 	type experiment struct {
 		name string
@@ -80,6 +89,7 @@ func main() {
 		{"fig6", func() (*bench.Table, error) { return bench.Fig6(cfg, rankList, setList) }},
 		{"fig6traffic", func() (*bench.Table, error) { return bench.Fig6Traffic(cfg, *trRank, setList) }},
 		{"table3", func() (*bench.Table, error) { return bench.Table3(cfg, nodeList) }},
+		{"chaos", func() (*bench.Table, error) { return bench.Chaos(cfg, kindList, *chaosRate, *chaosSeed) }},
 		{"tuning", func() (*bench.Table, error) { return bench.TuningTable(cfg, *trRank, setList) }},
 	}
 

@@ -39,6 +39,18 @@ type SweepStarter interface {
 	StartSweep(factors []*la.Matrix) error
 }
 
+// SweepRecoverer is an optional Kernel extension for fault-tolerant
+// kernels: when an MTTKRP dispatch (or StartSweep) fails mid-sweep, the
+// loop asks the kernel whether it has recovered — e.g. the distributed
+// runtime re-partitioning around a crashed rank — and, if so, restarts
+// the sweep with the current factors. attempt counts restarts of this
+// sweep (0 on the first failure); returning false aborts with err as a
+// plain kernel failure would. Solve and normalisation errors are never
+// retried — they indicate numerical trouble, not a lost rank.
+type SweepRecoverer interface {
+	RecoverSweep(sweep, mode, attempt int, err error) bool
+}
+
 // Config parameterises Run. Callers own their public-facing defaults;
 // Run only backstops MaxIters (50) and Tol (1e-5).
 type Config struct {
@@ -51,6 +63,10 @@ type Config struct {
 	// ErrPrefix names the calling package in error messages ("cpd",
 	// "dist"); empty means "als".
 	ErrPrefix string
+	// MaxSweepRetries bounds how many times one sweep may be restarted
+	// through a SweepRecoverer kernel before its error becomes fatal.
+	// 0 (the default) disables sweep retry entirely.
+	MaxSweepRetries int
 }
 
 // Result is a fitted Kruskal tensor with one factor per mode.
@@ -64,8 +80,12 @@ type Result struct {
 	// (plus the memoized path's StartSweep contraction), the
 	// normal-equation solves, and the fit evaluation. Accumulated as the
 	// loop runs, so a partial result from a mid-sweep error still carries
-	// the time spent so far.
+	// the time spent so far. Retried sweeps keep their aborted attempts'
+	// time — it was really spent.
 	Phases metrics.PhaseTimes
+	// SweepRetries counts sweeps restarted through a SweepRecoverer
+	// after a kernel failure (0 on a healthy run).
+	SweepRetries int
 }
 
 // Run executes CP-ALS sweeps over k until convergence or MaxIters. On a
@@ -114,14 +134,17 @@ func Run(k Kernel, cfg Config) (*Result, error) {
 	}
 
 	starter, _ := k.(SweepStarter)
-	prevFit := 0.0
-	for iter := 0; iter < cfg.MaxIters; iter++ {
+	recoverer, _ := k.(SweepRecoverer)
+	// runSweep executes one full ALS sweep against the current factors,
+	// reporting the failing mode (-1 for StartSweep) and whether the
+	// error is a retryable kernel failure (solve errors are not).
+	runSweep := func() (failedMode int, retryable bool, err error) {
 		if starter != nil {
 			t0 := time.Now()
 			err := starter.StartSweep(res.Factors)
 			res.Phases.MTTKRPNS += time.Since(t0).Nanoseconds()
 			if err != nil {
-				return res, err
+				return -1, true, err
 			}
 		}
 		for mode := 0; mode < n; mode++ {
@@ -129,7 +152,7 @@ func Run(k Kernel, cfg Config) (*Result, error) {
 			err := k.MTTKRP(mode, res.Factors, outs[mode])
 			res.Phases.MTTKRPNS += time.Since(t0).Nanoseconds()
 			if err != nil {
-				return res, err
+				return mode, true, err
 			}
 			t0 = time.Now()
 			// V = Hadamard of all other modes' Gram matrices.
@@ -147,7 +170,7 @@ func Run(k Kernel, cfg Config) (*Result, error) {
 			res.Factors[mode].CopyFrom(outs[mode])
 			if err := la.SolveSPD(v, res.Factors[mode]); err != nil {
 				res.Phases.SolveNS += time.Since(t0).Nanoseconds()
-				return res, fmt.Errorf("%s: mode-%d solve: %w", pfx, mode+1, err)
+				return mode, false, fmt.Errorf("%s: mode-%d solve: %w", pfx, mode+1, err)
 			}
 			copy(res.Lambda, la.NormalizeColumns(res.Factors[mode]))
 			// Guard against dead columns: a zero column would make all
@@ -161,6 +184,28 @@ func Run(k Kernel, cfg Config) (*Result, error) {
 			}
 			grams[mode] = la.Gram(res.Factors[mode])
 			res.Phases.SolveNS += time.Since(t0).Nanoseconds()
+		}
+		return -1, true, nil
+	}
+	prevFit := 0.0
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		// Retryable sweep: a mid-sweep kernel failure is handed to the
+		// kernel's SweepRecoverer (if any); on recovery — e.g. after the
+		// distributed runtime re-partitioned around a crashed rank — the
+		// sweep restarts against the current (possibly half-updated)
+		// factors, which is still a valid ALS state. On a fault-free run
+		// this loop runs the sweep exactly once, preserving the rng
+		// stream and trajectory bit for bit.
+		for attempt := 0; ; attempt++ {
+			failedMode, retryable, err := runSweep()
+			if err == nil {
+				break
+			}
+			if !retryable || recoverer == nil || attempt >= cfg.MaxSweepRetries ||
+				!recoverer.RecoverSweep(iter, failedMode, attempt, err) {
+				return res, err
+			}
+			res.SweepRetries++
 		}
 
 		t0 := time.Now()

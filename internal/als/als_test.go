@@ -196,3 +196,110 @@ func TestRunPhaseTiming(t *testing.T) {
 		t.Fatalf("partial result lost its phase time: %+v", res2.Phases)
 	}
 }
+
+// recoveringKernel adds the SweepRecoverer extension: MTTKRP on mode 1
+// fails failuresLeft times, and RecoverSweep records its consultations.
+type recoveringKernel struct {
+	denseKernel
+	failuresLeft int
+	recoverCalls int
+	refuse       bool
+	nanMode0     bool
+}
+
+func (k *recoveringKernel) MTTKRP(mode int, factors []*la.Matrix, out *la.Matrix) error {
+	if k.nanMode0 && mode == 0 {
+		if err := k.denseKernel.MTTKRP(mode, factors, out); err != nil {
+			return err
+		}
+		out.Data[0] = math.NaN() // poisons the gram; the *solve* fails
+		return nil
+	}
+	if k.failuresLeft > 0 && mode == 1 {
+		k.failuresLeft--
+		return errors.New("transient kernel failure")
+	}
+	return k.denseKernel.MTTKRP(mode, factors, out)
+}
+
+func (k *recoveringKernel) RecoverSweep(sweep, mode, attempt int, err error) bool {
+	k.recoverCalls++
+	return !k.refuse
+}
+
+func TestSweepRetryRecovers(t *testing.T) {
+	base, normX := rankOne([]int{5, 4, 3})
+	k := &recoveringKernel{denseKernel: *base, failuresLeft: 2}
+	res, err := Run(k, Config{Rank: 1, MaxIters: 30, Tol: 1e-12, Seed: 3,
+		NormX: normX, MaxSweepRetries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SweepRetries != 2 {
+		t.Fatalf("SweepRetries = %d, want 2", res.SweepRetries)
+	}
+	if k.recoverCalls != 2 {
+		t.Fatalf("recoverer consulted %d times, want 2", k.recoverCalls)
+	}
+	if f := res.Fits[len(res.Fits)-1]; f < 0.999 {
+		t.Fatalf("recovered run did not converge: fit %v", f)
+	}
+}
+
+func TestSweepRetryExhaustsBudget(t *testing.T) {
+	base, normX := rankOne([]int{4, 3, 2})
+	k := &recoveringKernel{denseKernel: *base, failuresLeft: 100}
+	res, err := Run(k, Config{Rank: 1, MaxIters: 5, Seed: 1, NormX: normX,
+		MaxSweepRetries: 2})
+	if err == nil {
+		t.Fatal("permanent failure not surfaced")
+	}
+	if res.SweepRetries != 2 {
+		t.Fatalf("SweepRetries = %d, want 2", res.SweepRetries)
+	}
+	if k.recoverCalls != 2 {
+		t.Fatalf("recoverer consulted %d times, want 2", k.recoverCalls)
+	}
+}
+
+func TestSweepRetryRefusedByKernel(t *testing.T) {
+	base, normX := rankOne([]int{4, 3, 2})
+	k := &recoveringKernel{denseKernel: *base, failuresLeft: 1, refuse: true}
+	res, err := Run(k, Config{Rank: 1, MaxIters: 5, Seed: 1, NormX: normX,
+		MaxSweepRetries: 3})
+	if err == nil {
+		t.Fatal("refused recovery must abort")
+	}
+	if res.SweepRetries != 0 || k.recoverCalls != 1 {
+		t.Fatalf("retries=%d calls=%d, want 0/1", res.SweepRetries, k.recoverCalls)
+	}
+}
+
+func TestSweepRetryDisabledByDefault(t *testing.T) {
+	base, normX := rankOne([]int{4, 3, 2})
+	k := &recoveringKernel{denseKernel: *base, failuresLeft: 1}
+	_, err := Run(k, Config{Rank: 1, MaxIters: 5, Seed: 1, NormX: normX})
+	if err == nil {
+		t.Fatal("MaxSweepRetries=0 must disable retry")
+	}
+	if k.recoverCalls != 0 {
+		t.Fatalf("recoverer consulted %d times with retry disabled", k.recoverCalls)
+	}
+}
+
+func TestSolveErrorsNeverRetried(t *testing.T) {
+	base, normX := rankOne([]int{4, 3, 2})
+	k := &recoveringKernel{denseKernel: *base, nanMode0: true}
+	res, err := Run(k, Config{Rank: 1, MaxIters: 5, Seed: 1, NormX: normX,
+		MaxSweepRetries: 5})
+	if err == nil {
+		t.Fatal("poisoned solve not surfaced")
+	}
+	if !strings.Contains(err.Error(), "solve") {
+		t.Fatalf("error does not identify the solve: %v", err)
+	}
+	if k.recoverCalls != 0 || res.SweepRetries != 0 {
+		t.Fatalf("numerical failure was retried: calls=%d retries=%d",
+			k.recoverCalls, res.SweepRetries)
+	}
+}

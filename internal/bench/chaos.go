@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"spblock/internal/core"
+	"spblock/internal/dist"
+	"spblock/internal/mpi"
+)
+
+// ChaosKinds are the fault families the chaos experiment exercises, one
+// row each: a clean baseline, the four link faults, a stalling straggler
+// and a mid-decomposition crash.
+var ChaosKinds = []string{"none", "drop", "dup", "corrupt", "delay", "stall", "crash"}
+
+// chaosRanks is the world size of every chaos run (small enough that a
+// lossy schedule's real timeout waits stay in CI budget).
+const chaosRanks = 4
+
+// chaosPlan arms one fault family at the given rate. The reliability
+// knobs are tight on purpose: short timeouts keep a lossy run fast, and
+// a small retry budget makes exhaustion reachable.
+func chaosPlan(kind string, rate float64, seed int64) (*mpi.FaultPlan, error) {
+	if kind == "none" {
+		return nil, nil
+	}
+	p := mpi.NewFaultPlan(seed)
+	p.Timeout = 100 * time.Millisecond
+	p.MaxRetries = 3
+	switch kind {
+	case "drop":
+		p.DropProb = rate
+	case "dup":
+		p.DupProb = rate
+	case "corrupt":
+		p.CorruptProb = rate
+	case "delay":
+		p.DelayProb = rate
+		p.DelaySec = 1e-4
+	case "stall":
+		p.StallRank = chaosRanks - 1
+		p.StallSleep = time.Millisecond
+		p.StallSec = 1e-3
+	case "crash":
+		p.CrashRank = chaosRanks - 1
+		p.CrashAfterOps = 5
+	default:
+		return nil, fmt.Errorf("bench: unknown chaos kind %q", kind)
+	}
+	return p, nil
+}
+
+// Chaos runs the distributed CP-ALS decomposition under each requested
+// fault family and tabulates the outcome: whether the run completed,
+// completed degraded (fewer surviving ranks) or failed, plus the full
+// fault-tolerance telemetry from CPResult. It is the runnable form of
+// the degradation contract in DESIGN.md §9.
+func Chaos(cfg Config, kinds []string, rate float64, seed int64) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if len(kinds) == 0 {
+		kinds = ChaosKinds
+	}
+	if rate <= 0 {
+		rate = 0.02
+	}
+	x, _, err := Dataset(cfg, "Poisson1")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Chaos: distributed CP-ALS under injected faults (p=%d, rate %.2g, seed %d)", chaosRanks, rate, seed),
+		Note:  "status: ok = clean finish, degraded = finished on fewer ranks after a crash, failed = error surfaced (never a hang)",
+		Header: []string{"Fault", "Status", "Iters", "Fit", "SweepRetry", "Retries",
+			"Timeouts", "Crashes", "Degraded", "Backoff (ms)", "Ranks left"},
+	}
+	for _, kind := range kinds {
+		plan, err := chaosPlan(kind, rate, seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := dist.CPALS(x, dist.Config{
+			Ranks:  chaosRanks,
+			Plan:   core.Plan{Method: core.MethodSPLATT, Workers: 1},
+			Model:  mpi.DefaultCluster(),
+			Faults: plan,
+		}, dist.CPOptions{Rank: 8, MaxIters: 5, Tol: 1e-9, Seed: cfg.Seed})
+		status := "ok"
+		switch {
+		case err != nil:
+			status = "failed"
+		case res.SurvivingRanks < chaosRanks:
+			status = "degraded"
+		}
+		if res == nil {
+			res = &dist.CPResult{}
+		}
+		t.Add(kind, status,
+			fmt.Sprintf("%d", res.Iters),
+			fmt.Sprintf("%.4f", res.Fit()),
+			fmt.Sprintf("%d", res.Comm.SweepRetries),
+			fmt.Sprintf("%d", res.Comm.Retries),
+			fmt.Sprintf("%d", res.Comm.Timeouts),
+			fmt.Sprintf("%d", res.Comm.Crashes),
+			fmt.Sprintf("%d", res.Comm.DegradedSweeps),
+			fmt.Sprintf("%.2f", res.Comm.BackoffSec*1e3),
+			fmt.Sprintf("%d", res.SurvivingRanks),
+		)
+	}
+	return t, nil
+}

@@ -8,6 +8,7 @@ import (
 	"spblock/internal/engine"
 	"spblock/internal/la"
 	"spblock/internal/metrics"
+	"spblock/internal/mpi"
 	"spblock/internal/tensor"
 )
 
@@ -23,6 +24,11 @@ type CPOptions struct {
 	Tol float64
 	// Seed drives the random factor initialisation.
 	Seed int64
+	// MaxSweepRetries bounds how many times one failed sweep is retried
+	// after the runtime recovers (re-rolled fault epoch, or a
+	// re-partition around a crashed rank). Defaults to 3 when cfg.Faults
+	// is set, 0 otherwise — a fault-free run never retries.
+	MaxSweepRetries int
 }
 
 // CPResult reports a distributed decomposition.
@@ -43,6 +49,14 @@ type CPResult struct {
 	// vs fit) — see metrics.PhaseTimes. The MTTKRP bucket measures the
 	// in-process simulation, not the modeled cluster time.
 	Phases metrics.PhaseTimes
+	// Comm carries the fault-tolerance telemetry: collective retries and
+	// timeouts, modeled backoff, crashes, sweep retries and degraded
+	// sweeps. All zero on a healthy run.
+	Comm metrics.CommStats
+	// SurvivingRanks is the rank count the decomposition finished on —
+	// equal to the configured Ranks unless a crash forced a
+	// re-partition over the survivors.
+	SurvivingRanks int
 }
 
 // Fit returns the final fit, or 0 before any sweep ran.
@@ -57,10 +71,22 @@ func (r *CPResult) Fit() float64 {
 // each mode product runs on its partitioned engine, the result is
 // copied into the core's output buffer, and the modeled time /
 // communication volume accumulate on the CPResult as they always did.
+//
+// It is also the fault-recovery seat: on a kernel failure the ALS loop
+// calls RecoverSweep, which either simply re-rolls the fault epoch (a
+// transient loss — timeouts exhausted on a lossy link) or, after a
+// crash, re-partitions all three engines over the surviving ranks and
+// lets the decomposition continue degraded.
 type distKernel struct {
 	dims    []int
+	pts     [3]*tensor.COO // permuted views, kept for re-partitioning
+	cfg     Config         // current (possibly shrunken) configuration
+	rank    int
 	engines [3]*Engine
 	res     *CPResult
+	// degradedAt is the sweep index of the first re-partition, -1 while
+	// the full rank set is alive.
+	degradedAt int
 }
 
 func (k *distKernel) Dims() []int { return k.dims }
@@ -68,13 +94,64 @@ func (k *distKernel) Dims() []int { return k.dims }
 func (k *distKernel) MTTKRP(mode int, factors []*la.Matrix, out *la.Matrix) error {
 	mp := engine.Modes[mode]
 	dr, err := k.engines[mode].Run(factors[mp.BFactor], factors[mp.CFactor])
+	if dr != nil {
+		// Account the attempt's modeled time, traffic and reliability
+		// telemetry even when it failed — the cluster really spent it.
+		k.res.ModeledSeconds += dr.ModeledSeconds
+		k.res.CommBytes += dr.Stats.TotalBytes()
+		k.res.Comm.Retries += dr.Stats.TotalRetries()
+		k.res.Comm.Timeouts += dr.Stats.TotalTimeouts()
+		k.res.Comm.BackoffSec += dr.Stats.TotalBackoffSec()
+	}
 	if err != nil {
 		return err
 	}
-	k.res.ModeledSeconds += dr.ModeledSeconds
-	k.res.CommBytes += dr.Stats.TotalBytes()
 	out.CopyFrom(dr.Out)
 	return nil
+}
+
+// RecoverSweep implements als.SweepRecoverer: it decides whether a
+// failed sweep can be retried and prepares the runtime for the retry.
+func (k *distKernel) RecoverSweep(sweep, mode, attempt int, err error) bool {
+	crashed := mpi.CrashedRanks(err)
+	if len(crashed) == 0 {
+		// Transient loss (drops/corruption past the retry budget, or a
+		// stall outliving the timeout): the engines are intact, and the
+		// fault plan draws a fresh epoch on the next Run, so simply
+		// retrying the sweep is meaningful.
+		return true
+	}
+	// A crash: re-partition over the survivors, like a resource manager
+	// shrinking the job. The replay keeps the same tensor orientation
+	// views; only the grid and block ownership change.
+	survivors := k.cfg.Ranks - len(crashed)
+	if survivors < 1 {
+		return false
+	}
+	cfg := k.cfg
+	cfg.Ranks = survivors
+	if cfg.RankParts > 1 && (survivors%cfg.RankParts != 0 || k.rank%cfg.RankParts != 0) {
+		// The 4D factorisation no longer divides evenly; degrade to the
+		// medium-grained 3D decomposition.
+		cfg.RankParts = 1
+	}
+	// The dead node is gone from the new world; keep the link faults.
+	cfg.Faults = cfg.Faults.WithoutCrash()
+	var engines [3]*Engine
+	for n := 0; n < 3; n++ {
+		eng, err2 := NewEngine(k.pts[n], k.rank, cfg)
+		if err2 != nil {
+			return false
+		}
+		engines[n] = eng
+	}
+	k.engines = engines
+	k.cfg = cfg
+	k.res.Comm.Crashes += len(crashed)
+	if k.degradedAt < 0 {
+		k.degradedAt = sweep
+	}
+	return true
 }
 
 // CPALS runs the full CP-ALS decomposition with every MTTKRP executed
@@ -99,16 +176,22 @@ func CPALS(t *tensor.COO, cfg Config, opts CPOptions) (*CPResult, error) {
 		opts.Tol = 1e-5
 	}
 	r := opts.Rank
+	if opts.MaxSweepRetries <= 0 && cfg.Faults != nil {
+		opts.MaxSweepRetries = 3
+	}
 
 	// One engine per mode, partitioned once per decomposition. The
 	// permuted inputs are zero-copy views (engine.PermuteView); the
-	// partitioner and block builder only read them.
+	// partitioner and block builder only read them — and the recovery
+	// path re-partitions the same views after a crash.
+	var pts [3]*tensor.COO
 	var engines [3]*Engine
 	for n := 0; n < 3; n++ {
 		pt, err := engine.PermuteView(t, engine.Modes[n].Perm)
 		if err != nil {
 			return nil, err
 		}
+		pts[n] = pt
 		eng, err := NewEngine(pt, r, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("dist: mode-%d engine: %w", n+1, err)
@@ -116,14 +199,24 @@ func CPALS(t *tensor.COO, cfg Config, opts CPOptions) (*CPResult, error) {
 		engines[n] = eng
 	}
 
-	res := &CPResult{}
-	ares, aerr := als.Run(&distKernel{dims: t.Dims[:], engines: engines, res: res}, als.Config{
-		Rank:      r,
-		MaxIters:  opts.MaxIters,
-		Tol:       opts.Tol,
-		Seed:      opts.Seed,
-		NormX:     math.Sqrt(t.NormSquared()),
-		ErrPrefix: "dist",
+	res := &CPResult{SurvivingRanks: cfg.Ranks}
+	kernel := &distKernel{
+		dims:       t.Dims[:],
+		pts:        pts,
+		cfg:        cfg,
+		rank:       r,
+		engines:    engines,
+		res:        res,
+		degradedAt: -1,
+	}
+	ares, aerr := als.Run(kernel, als.Config{
+		Rank:            r,
+		MaxIters:        opts.MaxIters,
+		Tol:             opts.Tol,
+		Seed:            opts.Seed,
+		NormX:           math.Sqrt(t.NormSquared()),
+		ErrPrefix:       "dist",
+		MaxSweepRetries: opts.MaxSweepRetries,
 	})
 	if ares == nil {
 		return nil, aerr
@@ -134,5 +227,10 @@ func CPALS(t *tensor.COO, cfg Config, opts CPOptions) (*CPResult, error) {
 	res.Iters = ares.Iters
 	res.Converged = ares.Converged
 	res.Phases = ares.Phases
+	res.Comm.SweepRetries = ares.SweepRetries
+	res.SurvivingRanks = kernel.cfg.Ranks
+	if kernel.degradedAt >= 0 && ares.Iters > kernel.degradedAt {
+		res.Comm.DegradedSweeps = ares.Iters - kernel.degradedAt
+	}
 	return res, aerr
 }

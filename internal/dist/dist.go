@@ -38,6 +38,11 @@ type Config struct {
 	Plan core.Plan
 	// Model prices the communication.
 	Model mpi.CostModel
+	// Faults optionally injects seeded faults under the collectives
+	// (see mpi.FaultPlan). Nil — or an unarmed plan — is a perfect
+	// network: execution and stats are bit-identical to a run without
+	// the fault layer.
+	Faults *mpi.FaultPlan
 }
 
 // Result reports one distributed execution.
@@ -62,6 +67,13 @@ type block struct {
 	xhi, yhi, zhi int
 }
 
+// blockRunner is the per-block kernel interface: one MTTKRP over a
+// rank's local tensor block. Production blocks are *core.Executor;
+// tests substitute poisoned runners to exercise the rank-error path.
+type blockRunner interface {
+	Run(b, c, out *la.Matrix) error
+}
+
 // Engine owns the distributed setup for one tensor orientation at one
 // rank: the 3D/4D grid, the greedy chunk boundaries, and one local
 // executor per tensor block. The setup cost is paid once and amortised
@@ -77,7 +89,7 @@ type Engine struct {
 	innerP int
 	tParts int
 	bounds [3][]int
-	execs  []*core.Executor
+	execs  []blockRunner
 
 	maxNNZ, minNNZ int
 }
@@ -132,7 +144,7 @@ func NewEngine(t *tensor.COO, rank int, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.execs = make([]*core.Executor, e.innerP)
+	e.execs = make([]blockRunner, e.innerP)
 	e.minNNZ = -1
 	for idx, blk := range blocks {
 		nnz := 0
@@ -163,8 +175,11 @@ func NewEngine(t *tensor.COO, rank int, cfg Config) (*Engine, error) {
 // A = X₍₁₎(B ⊙ C). Repeated products over the same tensor should build
 // a NewEngine and call Run.
 func MTTKRP(t *tensor.COO, b, c *la.Matrix, cfg Config) (*Result, error) {
-	if b.Cols == 0 {
-		return nil, fmt.Errorf("dist: rank must be positive")
+	if b.Cols != c.Cols {
+		return nil, fmt.Errorf("dist: rank mismatch: B has %d cols, C %d", b.Cols, c.Cols)
+	}
+	if b.Cols <= 0 {
+		return nil, fmt.Errorf("dist: rank must be positive, got %d", b.Cols)
 	}
 	e, err := NewEngine(t, b.Cols, cfg)
 	if err != nil {
@@ -195,7 +210,7 @@ func (eng *Engine) Run(b, c *la.Matrix) (*Result, error) {
 	out := la.NewMatrix(eng.dims[0], r)
 	var outMu sync.Mutex
 
-	stats, err := mpi.Run(p, eng.cfg.Model, func(comm *mpi.Comm) error {
+	stats, err := mpi.RunWithFaults(p, eng.cfg.Model, eng.cfg.Faults, func(comm *mpi.Comm) error {
 		g := comm.Rank() / innerP // rank group (4D dimension)
 		inner := comm.Rank() % innerP
 		x := inner / (rr * s)
@@ -212,26 +227,47 @@ func (eng *Engine) Run(b, c *la.Matrix) (*Result, error) {
 		//    (they reduce-scatter the partial A chunk);
 		//  - gComm: same inner position across rank groups (the 4D
 		//    AllGather along the rank dimension).
-		bComm := comm.Split(g*1000+y, inner)
-		cComm := comm.Split(g*1000+z+500, inner)
-		aComm := comm.Split(g*1000+x+750, inner)
-		gComm := comm.Split(10000+inner, g)
+		bColor, cColor, aColor, gColor := subCommColors(g, x, y, z, inner, p, tParts)
+		bComm, err := comm.Split(bColor, inner)
+		if err != nil {
+			return err
+		}
+		cComm, err := comm.Split(cColor, inner)
+		if err != nil {
+			return err
+		}
+		aComm, err := comm.Split(aColor, inner)
+		if err != nil {
+			return err
+		}
+		gComm, err := comm.Split(gColor, g)
+		if err != nil {
+			return err
+		}
 
 		// Gather the B chunk (rows bounds[1][y] .. bounds[1][y+1],
 		// columns of this group's strip) from its co-owners.
-		bChunk := gatherChunk(bComm, b, bounds[1][y], bounds[1][y+1], colLo, colHi)
-		cChunk := gatherChunk(cComm, c, bounds[2][z], bounds[2][z+1], colLo, colHi)
+		bChunk, err := gatherChunk(bComm, b, bounds[1][y], bounds[1][y+1], colLo, colHi)
+		if err != nil {
+			return err
+		}
+		cChunk, err := gatherChunk(cComm, c, bounds[2][z], bounds[2][z+1], colLo, colHi)
+		if err != nil {
+			return err
+		}
 
-		// Local compute: partial A rows for chunk x over the strip.
+		// Local compute: partial A rows for chunk x over the strip. A
+		// failing block executor surfaces as this rank's error from Run —
+		// never a panic.
 		xRows := bounds[0][x+1] - bounds[0][x]
 		partial := la.NewMatrix(maxInt(xRows, 1), w)
 		if execs[inner] != nil {
 			e := execs[inner]
-			comm.TimeCompute(func() {
-				if err := e.Run(bChunk, cChunk, partial); err != nil {
-					panic(err)
-				}
-			})
+			if err := comm.TimeCompute(func() error {
+				return e.Run(bChunk, cChunk, partial)
+			}); err != nil {
+				return fmt.Errorf("dist: rank %d block executor: %w", comm.Rank(), err)
+			}
 		}
 
 		// Reduce-scatter the partial A chunk among the ranks sharing x.
@@ -249,7 +285,10 @@ func (eng *Engine) Run(b, c *la.Matrix) (*Result, error) {
 		// compared to the medium-grained decomposition" (Sec. VI-D).
 		fullRows := mine
 		if tParts > 1 {
-			parts := gComm.Allgatherv(mine)
+			parts, err := gComm.Allgatherv(mine)
+			if err != nil {
+				return err
+			}
 			fullRows = make([]float64, myRows*r)
 			for gg, part := range parts {
 				lo := strips[gg]
@@ -276,17 +315,36 @@ func (eng *Engine) Run(b, c *la.Matrix) (*Result, error) {
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
+	// On error the Result still carries the grid and the (partial) run
+	// stats, so drivers can account retries/timeouts and identify
+	// crashed ranks before degrading; Out is only valid when err is nil.
+	res := &Result{
 		Grid:           grid,
 		Stats:          stats,
 		ModeledSeconds: stats.ModeledSeconds(),
 		Out:            out,
 		MaxRankNNZ:     eng.maxNNZ,
 		MinRankNNZ:     eng.minNNZ,
-	}, nil
+	}
+	return res, err
+}
+
+// subCommColors derives the four sub-communicator colors for one rank
+// of the 4D decomposition. The color spaces are provably disjoint: with
+// stride = tParts*p, kind k occupies [k*stride, (k+1)*stride) and
+// within a kind the color is g*p + coord with g < tParts and every
+// coordinate (x, y, z, inner) < innerP <= p, so distinct (kind, group,
+// coordinate) triples never collide — unlike the former g*1000-based
+// scheme, which merged communicators once an inner grid dimension
+// reached 500 (and collided with the cross-group color for large
+// grids).
+func subCommColors(g, x, y, z, inner, p, tParts int) (bColor, cColor, aColor, gColor int) {
+	stride := tParts * p
+	bColor = 0*stride + g*p + y
+	cColor = 1*stride + g*p + z
+	aColor = 2*stride + g*p + x
+	gColor = 3*stride + inner
+	return bColor, cColor, aColor, gColor
 }
 
 // buildBlocks partitions t into the q×r×s blocks of one rank group,
@@ -338,7 +396,7 @@ func buildBlocks(t *tensor.COO, bounds [3][]int) ([]*block, error) {
 // gatherChunk assembles factor rows [rowLo, rowHi) × cols [colLo, colHi)
 // by allgathering each co-owner's share. The share boundaries split the
 // chunk rows evenly over the sub-communicator in rank order.
-func gatherChunk(comm *mpi.Comm, m *la.Matrix, rowLo, rowHi, colLo, colHi int) *la.Matrix {
+func gatherChunk(comm *mpi.Comm, m *la.Matrix, rowLo, rowHi, colLo, colHi int) (*la.Matrix, error) {
 	rows := rowHi - rowLo
 	w := colHi - colLo
 	pSub := comm.Size()
@@ -348,7 +406,10 @@ func gatherChunk(comm *mpi.Comm, m *la.Matrix, rowLo, rowHi, colLo, colHi int) *
 	for row := meLo; row < meHi; row++ {
 		mine = append(mine, m.Data[(rowLo+row)*m.Stride+colLo:(rowLo+row)*m.Stride+colHi]...)
 	}
-	parts := comm.Allgatherv(mine)
+	parts, err := comm.Allgatherv(mine)
+	if err != nil {
+		return nil, err
+	}
 	chunk := la.NewMatrix(maxInt(rows, 1), w)
 	row := 0
 	for _, part := range parts {
@@ -358,7 +419,7 @@ func gatherChunk(comm *mpi.Comm, m *la.Matrix, rowLo, rowHi, colLo, colHi int) *
 			row++
 		}
 	}
-	return chunk
+	return chunk, nil
 }
 
 // ownedCounts splits `rows` rows of width w among pSub ranks, returning

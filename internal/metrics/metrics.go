@@ -266,6 +266,46 @@ type PhaseTimes struct {
 // TotalNS returns the summed phase time.
 func (p PhaseTimes) TotalNS() int64 { return p.MTTKRPNS + p.SolveNS + p.NormNS }
 
+// CommStats aggregates the distributed runtime's fault-tolerance
+// telemetry across a decomposition: the reliability protocol's message
+// resends and expired waits, the modeled backoff those retries added to
+// the α-β communication time, and the driver-level degradation events
+// (sweeps restarted, ranks lost, sweeps completed on a shrunken rank
+// set). Every field is zero when fault injection is off, so a healthy
+// run reports a zero value — the same "instrumentation is free"
+// contract the kernel counters follow.
+type CommStats struct {
+	// Retries counts point-to-point resends inside the collectives.
+	Retries int64 `json:"retries"`
+	// Timeouts counts ack/receive waits that expired.
+	Timeouts int64 `json:"timeouts"`
+	// BackoffSec is the modeled retry backoff added to communication
+	// time (it is already included in the modeled seconds).
+	BackoffSec float64 `json:"backoff_sec"`
+	// Crashes counts ranks lost to injected crashes.
+	Crashes int `json:"crashes"`
+	// SweepRetries counts ALS sweeps restarted after a kernel failure.
+	SweepRetries int `json:"sweep_retries"`
+	// DegradedSweeps counts sweeps completed after the runtime
+	// re-partitioned over the surviving ranks.
+	DegradedSweeps int `json:"degraded_sweeps"`
+}
+
+// Merge adds o's counters into c.
+func (c *CommStats) Merge(o CommStats) {
+	c.Retries += o.Retries
+	c.Timeouts += o.Timeouts
+	c.BackoffSec += o.BackoffSec
+	c.Crashes += o.Crashes
+	c.SweepRetries += o.SweepRetries
+	c.DegradedSweeps += o.DegradedSweeps
+}
+
+// Faulted reports whether any fault-tolerance machinery engaged.
+func (c CommStats) Faulted() bool {
+	return c != CommStats{}
+}
+
 // MTTKRPShare returns MTTKRP's fraction of the accounted time, or 0
 // before any phase ran.
 func (p PhaseTimes) MTTKRPShare() float64 {

@@ -133,3 +133,29 @@ func TestPhaseTimes(t *testing.T) {
 		t.Fatalf("phase JSON = %s, want %s", data, want)
 	}
 }
+
+func TestCommStats(t *testing.T) {
+	var c CommStats
+	if c.Faulted() {
+		t.Fatal("zero CommStats reports faulted")
+	}
+	c.Merge(CommStats{Retries: 2, Timeouts: 1, BackoffSec: 0.5, Crashes: 1,
+		SweepRetries: 3, DegradedSweeps: 4})
+	c.Merge(CommStats{Retries: 1, BackoffSec: 0.25})
+	if c.Retries != 3 || c.Timeouts != 1 || c.BackoffSec != 0.75 ||
+		c.Crashes != 1 || c.SweepRetries != 3 || c.DegradedSweeps != 4 {
+		t.Fatalf("merge wrong: %+v", c)
+	}
+	if !c.Faulted() {
+		t.Fatal("nonzero CommStats not faulted")
+	}
+	// JSON keys are part of the chaos-report contract.
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"retries":3,"timeouts":1,"backoff_sec":0.75,"crashes":1,"sweep_retries":3,"degraded_sweeps":4}`
+	if string(data) != want {
+		t.Fatalf("CommStats JSON = %s, want %s", data, want)
+	}
+}

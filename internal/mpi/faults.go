@@ -1,0 +1,326 @@
+// Fault injection for the in-process MPI runtime. At the scale the
+// paper's communication argument targets (Sec. VI-D; Ballard & Rouse's
+// communication lower bounds), faults are the norm: links drop or
+// corrupt packets, switches delay them, nodes stall under interference
+// and occasionally die. A FaultPlan injects exactly those failures
+// underneath the collectives, deterministically from a seed, so the
+// retry/timeout machinery and the distributed drivers' degradation
+// paths are testable and every observed schedule is replayable.
+//
+// Determinism. Per-message faults (drop, duplicate, corrupt, delay)
+// are decided by a splitmix64 hash of (seed, epoch, kind, src, dst,
+// seq, attempt) — a pure function of the message's logical coordinates,
+// independent of goroutine scheduling. Because every collective in this
+// runtime is star-shaped and each rank executes sequentially, the
+// per-pair message sequence is deterministic too, so a faulted schedule
+// replayed with the same seed injects the identical fault set and
+// produces identical RunStats counters. The epoch increments once per
+// Run sharing the plan, so a retried execution (e.g. a CP-ALS sweep
+// retry) sees a fresh — but still reproducible — schedule instead of
+// deterministically hitting the same wall forever.
+//
+// Rank faults (stall, crash) are positional: StallRank sleeps and
+// charges modeled time before every runtime operation; CrashRank stops
+// executing after CrashAfterOps operations and every later operation on
+// that rank returns ErrCrashed. Peers discover the death by timeout (or
+// by the crashed flag, which only shortens the real wait — the modeled
+// accounting stays deterministic).
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Fault sentinels. Collectives wrap them in *RankFailure so callers can
+// identify both the failing rank and the collective.
+var (
+	// ErrCrashed reports the injected death of the rank itself.
+	ErrCrashed = errors.New("rank crashed (injected fault)")
+	// ErrPeerCrashed reports a peer that is known to have crashed.
+	ErrPeerCrashed = errors.New("peer rank crashed")
+	// ErrTimeout reports an exhausted retry/timeout budget.
+	ErrTimeout = errors.New("timed out")
+)
+
+// RankFailure is the per-rank error unit of the runtime: which rank
+// failed, inside which collective, implicating which peer (-1 if none).
+// Run joins every rank's failure into its returned error; use
+// errors.As / CrashedRanks to dissect it.
+type RankFailure struct {
+	Rank       int
+	Peer       int
+	Collective string
+	Err        error
+}
+
+func (e *RankFailure) Error() string {
+	if e.Peer >= 0 {
+		return fmt.Sprintf("mpi: rank %d: %s: peer %d: %v", e.Rank, e.Collective, e.Peer, e.Err)
+	}
+	return fmt.Sprintf("mpi: rank %d: %s: %v", e.Rank, e.Collective, e.Err)
+}
+
+func (e *RankFailure) Unwrap() error { return e.Err }
+
+// CrashedRanks walks a (possibly joined, possibly wrapped) error from
+// Run and returns the sorted set of ranks known to have crashed —
+// self-reports (ErrCrashed) and peer observations (ErrPeerCrashed).
+func CrashedRanks(err error) []int {
+	seen := map[int]bool{}
+	var walk func(error)
+	walk = func(err error) {
+		if err == nil {
+			return
+		}
+		var rf *RankFailure
+		if errors.As(err, &rf) {
+			if errors.Is(rf.Err, ErrCrashed) {
+				seen[rf.Rank] = true
+			}
+			if errors.Is(rf.Err, ErrPeerCrashed) && rf.Peer >= 0 {
+				seen[rf.Peer] = true
+			}
+		}
+		switch u := err.(type) {
+		case interface{ Unwrap() []error }:
+			for _, e := range u.Unwrap() {
+				walk(e)
+			}
+		case interface{ Unwrap() error }:
+			walk(u.Unwrap())
+		}
+	}
+	walk(err)
+	ranks := make([]int, 0, len(seen))
+	for r := range seen {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	return ranks
+}
+
+// FaultPlan is a seeded, deterministic fault schedule plus the
+// reliability knobs the collectives run with while it is active.
+// Construct one with NewFaultPlan (a hand-built literal must set
+// StallRank and CrashRank to -1 explicitly, or they target rank 0).
+// A nil plan — or one with no faults configured — leaves the runtime on
+// its exact pre-fault-layer path: no acks, no checksums, bit-identical
+// RunStats.
+//
+// One plan may be shared across consecutive Runs (each Run draws a new
+// epoch); it must not be shared by concurrent Runs.
+type FaultPlan struct {
+	// Seed drives every per-message fault decision.
+	Seed int64
+
+	// Per-message fault probabilities in [0, 1], decided independently
+	// per transmission attempt.
+	DropProb    float64 // message vanishes on the wire
+	DupProb     float64 // message is delivered twice
+	CorruptProb float64 // payload bit-flip (caught by checksum, dropped)
+	DelayProb   float64 // message arrives late by DelaySec modeled seconds
+
+	// DelaySec is the modeled latency added to a delayed message,
+	// charged to the receiving rank's communication time.
+	DelaySec float64
+
+	// StallRank, if >= 0, is a global rank that stalls before every
+	// runtime operation: it really sleeps StallSleep (so peers can
+	// observe timeouts) and charges StallSec modeled seconds.
+	StallRank  int
+	StallSleep time.Duration
+	StallSec   float64
+
+	// CrashRank, if >= 0, is a global rank that dies after
+	// CrashAfterOps runtime operations (Send/Recv/collective entries):
+	// that operation and every later one on the rank returns ErrCrashed.
+	CrashRank     int
+	CrashAfterOps int
+
+	// Timeout is the per-attempt ack wait of the reliability protocol;
+	// a receive abandons after Timeout*(MaxRetries+2). Default 2s.
+	Timeout time.Duration
+	// MaxRetries bounds the resend attempts per message. Default 5.
+	MaxRetries int
+	// BackoffSec is the modeled base backoff charged per resend,
+	// doubling each attempt (the α-β model has no notion of a timeout,
+	// so retries enter it as explicit backoff plus the retransmission's
+	// point-to-point cost). Default 1ms.
+	BackoffSec float64
+
+	// epoch counts Runs that used this plan (atomic).
+	epoch uint64
+}
+
+// NewFaultPlan returns a plan with no faults enabled and the default
+// reliability knobs; set the probability / rank fields to arm it.
+func NewFaultPlan(seed int64) *FaultPlan {
+	return &FaultPlan{
+		Seed:       seed,
+		StallRank:  -1,
+		CrashRank:  -1,
+		Timeout:    2 * time.Second,
+		MaxRetries: 5,
+		BackoffSec: 1e-3,
+	}
+}
+
+// active reports whether any fault is configured. An inactive plan
+// keeps the runtime on the legacy (ack-free) path.
+func (p *FaultPlan) active() bool {
+	if p == nil {
+		return false
+	}
+	return p.DropProb > 0 || p.DupProb > 0 || p.CorruptProb > 0 || p.DelayProb > 0 ||
+		p.StallRank >= 0 || p.CrashRank >= 0
+}
+
+// WithoutCrash returns a copy of the plan with the crash fault disarmed
+// (and a fresh epoch stream) — the shape a driver wants after it has
+// re-partitioned around the dead rank: the node is gone, the link
+// faults remain.
+func (p *FaultPlan) WithoutCrash() *FaultPlan {
+	if p == nil {
+		return nil
+	}
+	cp := FaultPlan{
+		Seed:        p.Seed,
+		DropProb:    p.DropProb,
+		DupProb:     p.DupProb,
+		CorruptProb: p.CorruptProb,
+		DelayProb:   p.DelayProb,
+		DelaySec:    p.DelaySec,
+		StallRank:   p.StallRank,
+		StallSleep:  p.StallSleep,
+		StallSec:    p.StallSec,
+		CrashRank:   -1,
+		Timeout:     p.Timeout,
+		MaxRetries:  p.MaxRetries,
+		BackoffSec:  p.BackoffSec,
+	}
+	return &cp
+}
+
+// nextEpoch reserves this Run's epoch in the plan's schedule stream.
+func (p *FaultPlan) nextEpoch() uint64 {
+	return atomic.AddUint64(&p.epoch, 1) - 1
+}
+
+// Fault kinds hashed into the per-message decisions.
+const (
+	kindDrop = iota + 1
+	kindDup
+	kindCorrupt
+	kindDelay
+)
+
+// faultState is one Run's instantiation of a plan: normalized knobs,
+// the epoch, and the reliability-protocol state (per-pair sequence
+// numbers, ack channels, crash flags).
+type faultState struct {
+	plan  FaultPlan // value copy, knobs normalized
+	epoch uint64
+
+	// sendSeq[from*size+to] is owned by rank `from`'s goroutine;
+	// recvSeq[from*size+to] by rank `to`'s. No locks needed: each rank
+	// executes its runtime operations sequentially.
+	sendSeq []int64
+	recvSeq []int64
+	// acks[from*size+to] carries ack sequence numbers from `to` back to
+	// `from`.
+	acks []chan int64
+
+	crashed []atomic.Bool
+	// ops[rank] counts runtime operations, owned by the rank goroutine.
+	ops []int64
+}
+
+func newFaultState(size int, plan *FaultPlan) *faultState {
+	if !plan.active() {
+		return nil
+	}
+	cp := *plan.WithoutCrash()
+	cp.CrashRank = plan.CrashRank
+	if cp.Timeout <= 0 {
+		cp.Timeout = 2 * time.Second
+	}
+	if cp.MaxRetries < 0 {
+		cp.MaxRetries = 0
+	} else if cp.MaxRetries == 0 {
+		cp.MaxRetries = 5
+	}
+	if cp.BackoffSec <= 0 {
+		cp.BackoffSec = 1e-3
+	}
+	fs := &faultState{
+		plan:    cp,
+		epoch:   plan.nextEpoch(),
+		sendSeq: make([]int64, size*size),
+		recvSeq: make([]int64, size*size),
+		acks:    make([]chan int64, size*size),
+		crashed: make([]atomic.Bool, size),
+		ops:     make([]int64, size),
+	}
+	for i := range fs.acks {
+		fs.acks[i] = make(chan int64, mailDepth)
+	}
+	return fs
+}
+
+// recvDeadline bounds a blocking receive: long enough to cover the
+// sender's full retry budget, so a receive only expires when the peer
+// gave up or died.
+func (fs *faultState) recvDeadline() time.Duration {
+	return fs.plan.Timeout * time.Duration(fs.plan.MaxRetries+2)
+}
+
+// roll returns the deterministic uniform draw for one fault decision.
+func (fs *faultState) roll(kind, src, dst int, seq int64, attempt int) float64 {
+	h := splitmix64(uint64(fs.plan.Seed))
+	h = splitmix64(h ^ fs.epoch)
+	h = splitmix64(h ^ uint64(kind))
+	h = splitmix64(h ^ uint64(src)<<32 ^ uint64(dst))
+	h = splitmix64(h ^ uint64(seq))
+	h = splitmix64(h ^ uint64(attempt))
+	return float64(h>>11) / float64(1<<53)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// checksum is an FNV-1a over the payload bits; it exists to catch
+// injected corruption, not adversarial tampering.
+func checksum(data []float64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, v := range data {
+		b := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= (b >> s) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// corrupt flips one bit of one element, chosen deterministically.
+func corrupt(data []float64, h uint64) {
+	if len(data) == 0 {
+		return
+	}
+	i := int(h % uint64(len(data)))
+	bit := uint(splitmix64(h) % 64)
+	data[i] = math.Float64frombits(math.Float64bits(data[i]) ^ 1<<bit)
+}

@@ -1,0 +1,339 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// chatter is a deterministic traffic body: collective rounds with no
+// TimeCompute (ComputeSec is wall-measured, so determinism assertions
+// must avoid it).
+func chatter(rounds int) func(*Comm) error {
+	return func(c *Comm) error {
+		for i := 0; i < rounds; i++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if _, err := c.Allgatherv([]float64{float64(c.Rank()*10 + i)}); err != nil {
+				return err
+			}
+			if _, err := c.Allreduce([]float64{1, float64(i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func TestZeroFaultPathBitIdentical(t *testing.T) {
+	// An unarmed plan must take the exact legacy code path: RunStats
+	// bit-identical to a plain Run, reliability counters all zero.
+	base, err := Run(4, DefaultCluster(), chatter(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPlan, err := RunWithFaults(4, DefaultCluster(), NewFaultPlan(7), chatter(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, withPlan) {
+		t.Fatalf("unarmed plan changed stats:\n%+v\nvs\n%+v", base, withPlan)
+	}
+	if withPlan.TotalRetries() != 0 || withPlan.TotalTimeouts() != 0 ||
+		withPlan.TotalBackoffSec() != 0 || len(withPlan.CrashedRanks()) != 0 {
+		t.Fatalf("reliability counters nonzero on clean run: %+v", withPlan)
+	}
+}
+
+func TestFaultScheduleDeterministic(t *testing.T) {
+	// Dup and delay faults add no waiting, so the whole schedule —
+	// counters and modeled seconds — must replay bit-identically from
+	// the same seed across two fresh plans.
+	mk := func() *FaultPlan {
+		p := NewFaultPlan(42)
+		p.DupProb = 0.4
+		p.DelayProb = 0.4
+		p.DelaySec = 1e-3
+		return p
+	}
+	a, err := RunWithFaults(5, Zero(), mk(), chatter(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWithFaults(5, Zero(), mk(), chatter(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different stats:\n%+v\nvs\n%+v", a, b)
+	}
+	var dups, delays int64
+	for _, rs := range a.PerRank {
+		dups += rs.Dups
+		delays += rs.Delays
+	}
+	if dups == 0 || delays == 0 {
+		t.Fatalf("faults not injected: dups=%d delays=%d", dups, delays)
+	}
+}
+
+func TestRetryScheduleDeterministic(t *testing.T) {
+	// Drops force real ack timeouts and retries; the injected-fault and
+	// retry counters must still replay exactly (modeled seconds too —
+	// backoff is modeled, not measured).
+	mk := func() *FaultPlan {
+		p := NewFaultPlan(99)
+		p.DropProb = 0.3
+		p.Timeout = 150 * time.Millisecond
+		return p
+	}
+	body := func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < 4; i++ {
+				if err := c.Send(1, i, []float64{float64(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < 4; i++ {
+			got, err := c.Recv(0, i)
+			if err != nil {
+				return err
+			}
+			if len(got) != 1 || got[0] != float64(i) {
+				return fmt.Errorf("message %d arrived as %v", i, got)
+			}
+		}
+		return nil
+	}
+	a, err := RunWithFaults(2, Zero(), mk(), body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWithFaults(2, Zero(), mk(), body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PerRank[0].Drops == 0 {
+		t.Fatal("no drops injected; raise DropProb or rounds")
+	}
+	if a.PerRank[0].Retries == 0 || a.PerRank[0].BackoffSec == 0 {
+		t.Fatalf("drops did not trigger retries: %+v", a.PerRank[0])
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("retry schedule not deterministic:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestEpochReRollsSchedule(t *testing.T) {
+	// Two Runs sharing one plan draw different epochs — a retried sweep
+	// must not deterministically hit the identical fault wall.
+	p := NewFaultPlan(5)
+	p.DupProb = 0.5
+	a, err := RunWithFaults(3, Zero(), p, chatter(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWithFaults(3, Zero(), p, chatter(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var da, db int64
+	for r := range a.PerRank {
+		da += a.PerRank[r].Dups
+		db += b.PerRank[r].Dups
+	}
+	if da == 0 && db == 0 {
+		t.Fatal("no dups injected in either epoch")
+	}
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("consecutive epochs produced the identical schedule")
+	}
+}
+
+func TestCorruptionCaughtAndRetried(t *testing.T) {
+	// Corrupted payloads must be discarded by the checksum and recovered
+	// by retry — the data that arrives is the data that was sent.
+	p := NewFaultPlan(11)
+	p.CorruptProb = 0.5
+	p.Timeout = 150 * time.Millisecond
+	stats, err := RunWithFaults(2, Zero(), p, func(c *Comm) error {
+		payload := []float64{3.14, 2.71, 1.41}
+		if c.Rank() == 0 {
+			for i := 0; i < 6; i++ {
+				if err := c.Send(1, 0, payload); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < 6; i++ {
+			got, err := c.Recv(0, 0)
+			if err != nil {
+				return err
+			}
+			for j := range payload {
+				if got[j] != payload[j] {
+					return fmt.Errorf("transfer %d corrupted: %v", i, got)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PerRank[0].Corruptions == 0 {
+		t.Fatal("no corruption injected; raise CorruptProb or rounds")
+	}
+	if stats.PerRank[0].Retries == 0 {
+		t.Fatal("corrupted transfers were not retried")
+	}
+}
+
+func TestCrashSurfacesAsError(t *testing.T) {
+	p := NewFaultPlan(1)
+	p.CrashRank = 2
+	p.CrashAfterOps = 3
+	p.Timeout = 50 * time.Millisecond
+	p.MaxRetries = 2
+	done := make(chan struct{})
+	var stats RunStats
+	var err error
+	go func() {
+		defer close(done)
+		stats, err = RunWithFaults(4, Zero(), p, chatter(10))
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("crash run hung")
+	}
+	if err == nil {
+		t.Fatal("crash did not surface as an error")
+	}
+	crashed := CrashedRanks(err)
+	if len(crashed) != 1 || crashed[0] != 2 {
+		t.Fatalf("CrashedRanks = %v, want [2]; err: %v", crashed, err)
+	}
+	if got := stats.CrashedRanks(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("stats.CrashedRanks = %v, want [2]", got)
+	}
+	var rf *RankFailure
+	if !errors.As(err, &rf) {
+		t.Fatalf("error does not carry a RankFailure: %v", err)
+	}
+	if rf.Collective == "" {
+		t.Fatalf("RankFailure does not name the collective: %+v", rf)
+	}
+}
+
+func TestSendTimeoutAfterRetryExhaustion(t *testing.T) {
+	p := NewFaultPlan(1)
+	p.DropProb = 1.0 // every attempt vanishes
+	p.MaxRetries = 1
+	p.Timeout = 30 * time.Millisecond
+	_, err := RunWithFaults(2, Zero(), p, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 5, []float64{1})
+		}
+		_, err := c.Recv(0, 5)
+		return err
+	})
+	if err == nil {
+		t.Fatal("total loss did not surface as an error")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("error is not ErrTimeout: %v", err)
+	}
+	var rf *RankFailure
+	if !errors.As(err, &rf) || rf.Collective != "Send" && rf.Collective != "Recv" {
+		t.Fatalf("failure does not name the operation: %v", err)
+	}
+}
+
+func TestStallChargesModeledTime(t *testing.T) {
+	p := NewFaultPlan(1)
+	p.StallRank = 1
+	p.StallSec = 0.25
+	stats, err := RunWithFaults(3, Zero(), p, chatter(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PerRank[1].Stalls < 2 {
+		t.Fatalf("stall rank stalled %d times, want >= 2", stats.PerRank[1].Stalls)
+	}
+	if stats.PerRank[1].CommSec < 0.5 {
+		t.Fatalf("stall time not charged: CommSec = %v", stats.PerRank[1].CommSec)
+	}
+	if stats.PerRank[0].Stalls != 0 || stats.PerRank[2].Stalls != 0 {
+		t.Fatal("stall leaked to other ranks")
+	}
+}
+
+func TestWithoutCrashDisarmsOnlyCrash(t *testing.T) {
+	p := NewFaultPlan(3)
+	p.DropProb = 0.1
+	p.CrashRank = 1
+	p.CrashAfterOps = 5
+	q := p.WithoutCrash()
+	if q.CrashRank != -1 {
+		t.Fatalf("crash still armed: %d", q.CrashRank)
+	}
+	if q.DropProb != 0.1 || q.Seed != 3 {
+		t.Fatalf("link faults lost: %+v", q)
+	}
+	var nilPlan *FaultPlan
+	if nilPlan.WithoutCrash() != nil {
+		t.Fatal("nil plan must stay nil")
+	}
+}
+
+func TestFaultedSubcommsUnderConcurrency(t *testing.T) {
+	// Race-detector stress: concurrent collectives on disjoint
+	// sub-communicators with the reliability protocol active. Drops are
+	// rare and the retry budget generous, so the run must succeed.
+	p := NewFaultPlan(13)
+	p.DropProb = 0.02
+	p.DupProb = 0.1
+	p.Timeout = time.Second
+	_, err := RunWithFaults(8, Zero(), p, func(c *Comm) error {
+		sub, err := c.Split(c.Rank()%2, c.Rank())
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := sub.Allgatherv([]float64{float64(c.Rank())}); err != nil {
+				return err
+			}
+			if _, err := sub.Allreduce(make([]float64, 4)); err != nil {
+				return err
+			}
+			if _, err := sub.ReduceScatter(make([]float64, 4), []int{1, 1, 1, 1}); err != nil {
+				return err
+			}
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoisonedComputeSurfacesError(t *testing.T) {
+	// TimeCompute must hand a failing local kernel back as the rank's
+	// error — never a panic.
+	_, err := Run(2, Zero(), func(c *Comm) error {
+		if c.Rank() == 1 {
+			return c.TimeCompute(func() error { return fmt.Errorf("poisoned executor") })
+		}
+		return c.TimeCompute(func() error { return nil })
+	})
+	if err == nil {
+		t.Fatal("kernel error swallowed")
+	}
+}

@@ -18,19 +18,38 @@
 // The data movement itself is real — collectives actually move the
 // bytes between goroutines — so correctness is testable independently
 // of the time model.
+//
+// The runtime is fault-tolerant: RunWithFaults threads a seeded
+// FaultPlan (see faults.go) under the collectives. While a plan is
+// active, point-to-point transfers run a sequence-numbered,
+// checksummed, acked protocol with timeout and retry-with-backoff, and
+// every collective returns a *RankFailure identifying the failing rank
+// and collective instead of hanging or panicking. With no plan (or an
+// unarmed one) the runtime takes its original ack-free path and RunStats
+// are bit-identical to the pre-fault-layer behaviour.
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 )
 
-// message is one point-to-point transfer.
+// mailDepth bounds each (src, dst) mailbox and ack channel. Generous:
+// our collectives have at most one message in flight per pair, but user
+// code may pipeline and the retry protocol may retransmit.
+const mailDepth = 64
+
+// message is one point-to-point transfer. seq, sum and delaySec are
+// only populated while a FaultPlan is active.
 type message struct {
-	tag  int
-	data []float64
+	tag      int
+	seq      int64
+	sum      uint64
+	delaySec float64
+	data     []float64
 }
 
 // world is the shared state of one Run.
@@ -45,13 +64,32 @@ type world struct {
 	stats []RankStats
 
 	model CostModel
+
+	// fs is the Run's fault-injection state; nil on the legacy path.
+	fs *faultState
 }
 
-// RankStats aggregates one rank's accounted costs.
+// RankStats aggregates one rank's accounted costs and, when fault
+// injection is active, its reliability telemetry (all zero otherwise).
 type RankStats struct {
 	ComputeSec float64
 	CommSec    float64
 	BytesSent  int64 // point-to-point payload bytes this rank sent
+
+	// Retries counts resend attempts after an unacknowledged message.
+	Retries int64
+	// Timeouts counts ack/receive waits that expired.
+	Timeouts int64
+	// BackoffSec is the modeled backoff time added by the retries
+	// (charged into CommSec as well).
+	BackoffSec float64
+	// Injected fault counts, attributed to the rank that observed them
+	// (sender for drops/dups/corruptions, receiver for delays).
+	Drops, Dups, Corruptions, Delays int64
+	// Stalls counts injected stall pauses on this rank.
+	Stalls int64
+	// Crashed marks a rank killed by the injected crash fault.
+	Crashed bool
 }
 
 // RunStats is returned by Run.
@@ -80,6 +118,44 @@ func (s RunStats) TotalBytes() int64 {
 	return b
 }
 
+// TotalRetries sums message resends across ranks.
+func (s RunStats) TotalRetries() int64 {
+	var n int64
+	for _, r := range s.PerRank {
+		n += r.Retries
+	}
+	return n
+}
+
+// TotalTimeouts sums expired ack/receive waits across ranks.
+func (s RunStats) TotalTimeouts() int64 {
+	var n int64
+	for _, r := range s.PerRank {
+		n += r.Timeouts
+	}
+	return n
+}
+
+// TotalBackoffSec sums the modeled retry backoff across ranks.
+func (s RunStats) TotalBackoffSec() float64 {
+	var sec float64
+	for _, r := range s.PerRank {
+		sec += r.BackoffSec
+	}
+	return sec
+}
+
+// CrashedRanks lists the ranks the injector killed during the Run.
+func (s RunStats) CrashedRanks() []int {
+	var ranks []int
+	for r, rs := range s.PerRank {
+		if rs.Crashed {
+			ranks = append(ranks, r)
+		}
+	}
+	return ranks
+}
+
 // Comm is a communicator: a subset of ranks that can exchange messages
 // and run collectives. The initial communicator spans all ranks.
 type Comm struct {
@@ -94,9 +170,20 @@ type Comm struct {
 }
 
 // Run starts size ranks, each executing body with its own communicator
-// over the world, and waits for all of them. The first non-nil error is
-// returned (all ranks still run to completion or failure).
+// over the world, and waits for all of them. Equivalent to
+// RunWithFaults with a nil plan: a perfect network.
 func Run(size int, model CostModel, body func(*Comm) error) (RunStats, error) {
+	return RunWithFaults(size, model, nil, body)
+}
+
+// RunWithFaults starts size ranks under the given fault plan (nil or
+// unarmed = the exact legacy fault-free path) and waits for all of
+// them. All ranks run to completion or failure; every rank's error is
+// joined into the returned error, each wrapped as (or in) a
+// *RankFailure naming the rank and collective, so a failing rank
+// surfaces as an error — never a panic and never a hang past the
+// collective timeout budget.
+func RunWithFaults(size int, model CostModel, plan *FaultPlan, body func(*Comm) error) (RunStats, error) {
 	if size <= 0 {
 		return RunStats{}, fmt.Errorf("mpi: size must be positive, got %d", size)
 	}
@@ -106,11 +193,10 @@ func Run(size int, model CostModel, body func(*Comm) error) (RunStats, error) {
 		computeToken: make(chan struct{}, 1),
 		stats:        make([]RankStats, size),
 		model:        model,
+		fs:           newFaultState(size, plan),
 	}
 	for i := range w.mail {
-		// Generous buffering: our collectives have at most one message
-		// in flight per (src, dst) pair, but user code may pipeline.
-		w.mail[i] = make(chan message, 64)
+		w.mail[i] = make(chan message, mailDepth)
 	}
 	w.computeToken <- struct{}{}
 
@@ -133,12 +219,20 @@ func Run(size int, model CostModel, body func(*Comm) error) (RunStats, error) {
 		}(r)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return RunStats{PerRank: w.stats}, err
+	if w.fs != nil {
+		for r := range w.stats {
+			if w.fs.crashed[r].Load() {
+				w.stats[r].Crashed = true
+			}
 		}
 	}
-	return RunStats{PerRank: w.stats}, nil
+	var failures []error
+	for _, err := range errs {
+		if err != nil {
+			failures = append(failures, err)
+		}
+	}
+	return RunStats{PerRank: w.stats}, errors.Join(failures...)
 }
 
 // Rank returns this rank's index within the communicator.
@@ -150,18 +244,52 @@ func (c *Comm) Size() int { return len(c.group) }
 // GlobalRank returns this rank's index in the world communicator.
 func (c *Comm) GlobalRank() int { return c.group[c.me] }
 
+// enterOp is the rank-fault gate at every runtime operation: it counts
+// the operation, applies an injected stall, and fires the injected
+// crash. Returns nil on the fault-free path.
+func (c *Comm) enterOp(op string) error {
+	fs := c.w.fs
+	if fs == nil {
+		return nil
+	}
+	me := c.GlobalRank()
+	fs.ops[me]++
+	if fs.crashed[me].Load() {
+		return &RankFailure{Rank: me, Peer: -1, Collective: op, Err: ErrCrashed}
+	}
+	if fs.plan.CrashRank == me && fs.ops[me] > int64(fs.plan.CrashAfterOps) {
+		fs.crashed[me].Store(true)
+		return &RankFailure{Rank: me, Peer: -1, Collective: op, Err: ErrCrashed}
+	}
+	if fs.plan.StallRank == me {
+		if fs.plan.StallSleep > 0 {
+			time.Sleep(fs.plan.StallSleep)
+		}
+		c.w.mu.Lock()
+		c.w.stats[me].Stalls++
+		c.w.stats[me].CommSec += fs.plan.StallSec
+		c.w.mu.Unlock()
+	}
+	return nil
+}
+
 // TimeCompute runs f while holding the global compute token, so the
 // measured section executes alone on the machine, and accounts the
-// elapsed time to this rank's compute budget.
-func (c *Comm) TimeCompute(f func()) {
+// elapsed time to this rank's compute budget. f's error is returned
+// unchanged — the rank-error path for a failing local kernel.
+func (c *Comm) TimeCompute(f func() error) error {
+	if err := c.enterOp("TimeCompute"); err != nil {
+		return err
+	}
 	<-c.w.computeToken
 	start := time.Now()
-	f()
+	err := f()
 	sec := time.Since(start).Seconds()
 	c.w.computeToken <- struct{}{}
 	c.w.mu.Lock()
 	c.w.stats[c.GlobalRank()].ComputeSec += sec
 	c.w.mu.Unlock()
+	return err
 }
 
 // chargeComm adds modeled seconds to this rank.
@@ -172,28 +300,231 @@ func (c *Comm) chargeComm(sec float64) {
 }
 
 // Send delivers data to rank `to` of this communicator with a tag.
-// Payloads are copied, so the caller may reuse the slice.
-func (c *Comm) Send(to, tag int, data []float64) {
-	cp := append([]float64(nil), data...)
-	from := c.GlobalRank()
-	dst := c.group[to]
-	c.w.mail[from*c.w.size+dst] <- message{tag: tag ^ c.tagSalt, data: cp}
-	c.w.mu.Lock()
-	c.w.stats[from].BytesSent += int64(8 * len(cp))
-	c.w.mu.Unlock()
+// Payloads are copied, so the caller may reuse the slice. Under an
+// active fault plan the transfer is acked and retried; an exhausted
+// retry budget or a crashed peer returns a *RankFailure.
+func (c *Comm) Send(to, tag int, data []float64) error {
+	if err := c.enterOp("Send"); err != nil {
+		return err
+	}
+	return c.send("Send", to, tag, data)
 }
 
 // Recv receives the next message from rank `from` of this communicator.
 // Messages between a pair arrive in FIFO order; the tag is checked and
 // a mismatch panics (it indicates a protocol bug, not a runtime race).
-func (c *Comm) Recv(from, tag int) []float64 {
+// Under an active fault plan the wait is bounded by the plan's timeout
+// budget and an expiry returns a *RankFailure.
+func (c *Comm) Recv(from, tag int) ([]float64, error) {
+	if err := c.enterOp("Recv"); err != nil {
+		return nil, err
+	}
+	return c.recv("Recv", from, tag)
+}
+
+// send is the internal point-to-point transmit (no op gate — the
+// calling collective already passed it).
+func (c *Comm) send(op string, to, tag int, data []float64) error {
+	from := c.GlobalRank()
+	dst := c.group[to]
+	if c.w.fs != nil {
+		return c.sendReliable(op, from, dst, tag^c.tagSalt, data)
+	}
+	cp := append([]float64(nil), data...)
+	c.w.mail[from*c.w.size+dst] <- message{tag: tag ^ c.tagSalt, data: cp}
+	c.w.mu.Lock()
+	c.w.stats[from].BytesSent += int64(8 * len(cp))
+	c.w.mu.Unlock()
+	return nil
+}
+
+// recv is the internal point-to-point receive.
+func (c *Comm) recv(op string, from, tag int) ([]float64, error) {
 	src := c.group[from]
-	m := <-c.w.mail[src*c.w.size+c.GlobalRank()]
+	me := c.GlobalRank()
+	if c.w.fs != nil {
+		return c.recvReliable(op, src, me, tag^c.tagSalt)
+	}
+	m := <-c.w.mail[src*c.w.size+me]
 	if m.tag != tag^c.tagSalt {
 		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d",
-			c.GlobalRank(), tag, src, m.tag^c.tagSalt))
+			me, tag, src, m.tag^c.tagSalt))
 	}
-	return m.data
+	return m.data, nil
+}
+
+// sendReliable transmits one sequence-numbered, checksummed message and
+// waits for its ack, retrying with modeled backoff on loss. Fault
+// decisions are drawn per attempt from the plan's deterministic hash.
+func (c *Comm) sendReliable(op string, from, dst, wireTag int, data []float64) error {
+	fs := c.w.fs
+	w := c.w
+	pair := from*w.size + dst
+	seq := fs.sendSeq[pair]
+	fs.sendSeq[pair]++
+	sum := checksum(data)
+
+	for attempt := 0; ; attempt++ {
+		if fs.crashed[dst].Load() {
+			return &RankFailure{Rank: from, Peer: dst, Collective: op, Err: ErrPeerCrashed}
+		}
+		drop := fs.plan.DropProb > 0 && fs.roll(kindDrop, from, dst, seq, attempt) < fs.plan.DropProb
+		dup := fs.plan.DupProb > 0 && fs.roll(kindDup, from, dst, seq, attempt) < fs.plan.DupProb
+		corr := fs.plan.CorruptProb > 0 && len(data) > 0 &&
+			fs.roll(kindCorrupt, from, dst, seq, attempt) < fs.plan.CorruptProb
+		delay := fs.plan.DelayProb > 0 && fs.roll(kindDelay, from, dst, seq, attempt) < fs.plan.DelayProb
+
+		m := message{tag: wireTag, seq: seq, sum: sum, data: append([]float64(nil), data...)}
+		if corr {
+			corrupt(m.data, splitmix64(uint64(fs.plan.Seed)^uint64(seq)<<16^uint64(attempt)))
+		}
+		if delay {
+			m.delaySec = fs.plan.DelaySec
+		}
+
+		copies := 0
+		if drop {
+			w.mu.Lock()
+			w.stats[from].Drops++
+			w.mu.Unlock()
+		} else {
+			if trySend(w.mail[pair], m) {
+				copies++
+			}
+			if dup {
+				dm := m
+				dm.data = append([]float64(nil), m.data...)
+				if trySend(w.mail[pair], dm) {
+					copies++
+					w.mu.Lock()
+					w.stats[from].Dups++
+					w.mu.Unlock()
+				}
+			}
+		}
+		w.mu.Lock()
+		w.stats[from].BytesSent += int64(8 * len(m.data) * copies)
+		if corr && copies > 0 {
+			w.stats[from].Corruptions++
+		}
+		// Retransmissions and duplicates are traffic the base collective
+		// charge does not know about; price each extra wire copy.
+		extra := copies
+		if attempt == 0 && copies > 0 {
+			extra--
+		}
+		if extra > 0 {
+			w.stats[from].CommSec += float64(extra) * w.model.PointToPoint(int64(8*len(m.data)))
+		}
+		w.mu.Unlock()
+
+		if c.awaitAck(pair, seq) {
+			return nil
+		}
+		w.mu.Lock()
+		w.stats[from].Timeouts++
+		w.mu.Unlock()
+		if attempt >= fs.plan.MaxRetries {
+			return &RankFailure{Rank: from, Peer: dst, Collective: op,
+				Err: fmt.Errorf("send %w after %d attempts", ErrTimeout, attempt+1)}
+		}
+		backoff := fs.plan.BackoffSec * float64(int64(1)<<uint(attempt))
+		w.mu.Lock()
+		w.stats[from].Retries++
+		w.stats[from].BackoffSec += backoff
+		w.stats[from].CommSec += backoff
+		w.mu.Unlock()
+	}
+}
+
+// awaitAck waits up to the plan timeout for an ack covering seq,
+// discarding stale acks from earlier (duplicated) deliveries.
+func (c *Comm) awaitAck(pair int, seq int64) bool {
+	fs := c.w.fs
+	timer := time.NewTimer(fs.plan.Timeout)
+	defer timer.Stop()
+	for {
+		select {
+		case got := <-fs.acks[pair]:
+			if got >= seq {
+				return true
+			}
+		case <-timer.C:
+			return false
+		}
+	}
+}
+
+// recvReliable receives the next in-sequence valid message from src,
+// discarding duplicates and corrupted payloads (the missing ack makes
+// the sender retry those), within the plan's receive deadline.
+func (c *Comm) recvReliable(op string, src, me, wireTag int) ([]float64, error) {
+	fs := c.w.fs
+	w := c.w
+	pair := src*w.size + me
+	deadline := time.Now().Add(fs.recvDeadline())
+	for {
+		if fs.crashed[src].Load() {
+			return nil, &RankFailure{Rank: me, Peer: src, Collective: op, Err: ErrPeerCrashed}
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			w.mu.Lock()
+			w.stats[me].Timeouts++
+			w.mu.Unlock()
+			return nil, &RankFailure{Rank: me, Peer: src, Collective: op,
+				Err: fmt.Errorf("receive %w", ErrTimeout)}
+		}
+		// Wake periodically so a peer crash is noticed before the full
+		// deadline elapses (an early exit only; accounting is unchanged).
+		poll := remaining
+		if poll > 5*time.Millisecond {
+			poll = 5 * time.Millisecond
+		}
+		timer := time.NewTimer(poll)
+		select {
+		case m := <-w.mail[pair]:
+			timer.Stop()
+			if m.seq < fs.recvSeq[pair] {
+				continue // duplicate of an already-acked message
+			}
+			if checksum(m.data) != m.sum {
+				continue // corrupted; no ack, the sender will retry
+			}
+			fs.recvSeq[pair] = m.seq + 1
+			trySendAck(fs.acks[pair], m.seq)
+			if m.delaySec > 0 {
+				w.mu.Lock()
+				w.stats[me].Delays++
+				w.stats[me].CommSec += m.delaySec
+				w.mu.Unlock()
+			}
+			if m.tag != wireTag {
+				panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d",
+					me, wireTag^c.tagSalt, src, m.tag^c.tagSalt))
+			}
+			return m.data, nil
+		case <-timer.C:
+		}
+	}
+}
+
+// trySend is a non-blocking channel send; a full mailbox behaves like a
+// dropped message (the retry protocol recovers it).
+func trySend(ch chan message, m message) bool {
+	select {
+	case ch <- m:
+		return true
+	default:
+		return false
+	}
+}
+
+func trySendAck(ch chan int64, seq int64) {
+	select {
+	case ch <- seq:
+	default:
+	}
 }
 
 const (
@@ -204,43 +535,69 @@ const (
 )
 
 // Barrier blocks until every rank in the communicator reaches it.
-func (c *Comm) Barrier() {
+func (c *Comm) Barrier() error {
+	if err := c.enterOp("Barrier"); err != nil {
+		return err
+	}
 	p := c.Size()
 	if p == 1 {
-		return
+		return nil
 	}
 	if c.me == 0 {
 		for r := 1; r < p; r++ {
-			c.Recv(r, tagBarrier)
+			if _, err := c.recv("Barrier", r, tagBarrier); err != nil {
+				return err
+			}
 		}
 		for r := 1; r < p; r++ {
-			c.Send(r, tagBarrier, nil)
+			if err := c.send("Barrier", r, tagBarrier, nil); err != nil {
+				return err
+			}
 		}
 	} else {
-		c.Send(0, tagBarrier, nil)
-		c.Recv(0, tagBarrier)
+		if err := c.send("Barrier", 0, tagBarrier, nil); err != nil {
+			return err
+		}
+		if _, err := c.recv("Barrier", 0, tagBarrier); err != nil {
+			return err
+		}
 	}
 	c.chargeComm(c.w.model.Barrier(p))
+	return nil
 }
 
 // Allgatherv gathers every rank's (variable-length) contribution and
 // returns them indexed by rank. All ranks receive identical results.
-func (c *Comm) Allgatherv(mine []float64) [][]float64 {
+func (c *Comm) Allgatherv(mine []float64) ([][]float64, error) {
+	if err := c.enterOp("Allgatherv"); err != nil {
+		return nil, err
+	}
 	p := c.Size()
 	out := make([][]float64, p)
 	out[c.me] = append([]float64(nil), mine...)
 	if p > 1 {
 		if c.me == 0 {
 			for r := 1; r < p; r++ {
-				out[r] = c.Recv(r, tagGather+r)
+				part, err := c.recv("Allgatherv", r, tagGather+r)
+				if err != nil {
+					return nil, err
+				}
+				out[r] = part
 			}
 			flat, lens := flatten(out)
 			for r := 1; r < p; r++ {
-				c.Send(r, tagScatter, append(lens, flat...))
+				if err := c.send("Allgatherv", r, tagScatter, append(lens, flat...)); err != nil {
+					return nil, err
+				}
 			}
 		} else {
-			c.Send(0, tagGather+c.me, mine)
-			packed := c.Recv(0, tagScatter)
+			if err := c.send("Allgatherv", 0, tagGather+c.me, mine); err != nil {
+				return nil, err
+			}
+			packed, err := c.recv("Allgatherv", 0, tagScatter)
+			if err != nil {
+				return nil, err
+			}
 			unflatten(packed, p, out)
 		}
 	}
@@ -249,7 +606,7 @@ func (c *Comm) Allgatherv(mine []float64) [][]float64 {
 		total += int64(8 * len(part))
 	}
 	c.chargeComm(c.w.model.Allgather(p, total))
-	return out
+	return out, nil
 }
 
 // flatten packs parts into (lengths, data) for a single transfer.
@@ -276,6 +633,9 @@ func unflatten(packed []float64, p int, out [][]float64) {
 // have identical length Σ counts) and returns to rank r the segment of
 // the sum described by counts[r].
 func (c *Comm) ReduceScatter(data []float64, counts []int) ([]float64, error) {
+	if err := c.enterOp("ReduceScatter"); err != nil {
+		return nil, err
+	}
 	p := c.Size()
 	if len(counts) != p {
 		return nil, fmt.Errorf("mpi: ReduceScatter needs %d counts, got %d", p, len(counts))
@@ -294,20 +654,31 @@ func (c *Comm) ReduceScatter(data []float64, counts []int) ([]float64, error) {
 	if c.me == 0 {
 		sum = append([]float64(nil), data...)
 		for r := 1; r < p; r++ {
-			other := c.Recv(r, tagGather+r)
+			other, err := c.recv("ReduceScatter", r, tagGather+r)
+			if err != nil {
+				return nil, err
+			}
 			for i := range sum {
 				sum[i] += other[i]
 			}
 		}
 		off := counts[0]
 		for r := 1; r < p; r++ {
-			c.Send(r, tagScatter, sum[off:off+counts[r]])
+			if err := c.send("ReduceScatter", r, tagScatter, sum[off:off+counts[r]]); err != nil {
+				return nil, err
+			}
 			off += counts[r]
 		}
 		sum = sum[:counts[0]]
 	} else {
-		c.Send(0, tagGather+c.me, data)
-		sum = c.Recv(0, tagScatter)
+		if err := c.send("ReduceScatter", 0, tagGather+c.me, data); err != nil {
+			return nil, err
+		}
+		var err error
+		sum, err = c.recv("ReduceScatter", 0, tagScatter)
+		if err != nil {
+			return nil, err
+		}
 	}
 	c.chargeComm(c.w.model.ReduceScatter(p, int64(8*total)))
 	return append([]float64(nil), sum...), nil
@@ -315,35 +686,52 @@ func (c *Comm) ReduceScatter(data []float64, counts []int) ([]float64, error) {
 
 // Allreduce element-wise sums data across ranks; every rank receives
 // the full reduced vector.
-func (c *Comm) Allreduce(data []float64) []float64 {
+func (c *Comm) Allreduce(data []float64) ([]float64, error) {
+	if err := c.enterOp("Allreduce"); err != nil {
+		return nil, err
+	}
 	p := c.Size()
 	out := append([]float64(nil), data...)
 	if p > 1 {
 		if c.me == 0 {
 			for r := 1; r < p; r++ {
-				other := c.Recv(r, tagGather+r)
+				other, err := c.recv("Allreduce", r, tagGather+r)
+				if err != nil {
+					return nil, err
+				}
 				for i := range out {
 					out[i] += other[i]
 				}
 			}
 			for r := 1; r < p; r++ {
-				c.Send(r, tagScatter, out)
+				if err := c.send("Allreduce", r, tagScatter, out); err != nil {
+					return nil, err
+				}
 			}
 		} else {
-			c.Send(0, tagGather+c.me, data)
-			out = c.Recv(0, tagScatter)
+			if err := c.send("Allreduce", 0, tagGather+c.me, data); err != nil {
+				return nil, err
+			}
+			var err error
+			out, err = c.recv("Allreduce", 0, tagScatter)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	c.chargeComm(c.w.model.Allreduce(p, int64(8*len(data))))
-	return out
+	return out, nil
 }
 
 // Split partitions the communicator: ranks passing the same color form
 // a new communicator, ordered by (key, rank). Every rank must call it.
-func (c *Comm) Split(color, key int) *Comm {
+func (c *Comm) Split(color, key int) (*Comm, error) {
 	p := c.Size()
 	// Exchange (color, key) via an allgather of two-element vectors.
-	pairs := c.Allgatherv([]float64{float64(color), float64(key)})
+	pairs, err := c.Allgatherv([]float64{float64(color), float64(key)})
+	if err != nil {
+		return nil, err
+	}
 	type member struct{ color, key, rank int }
 	var mine []member
 	for r := 0; r < p; r++ {
@@ -366,5 +754,5 @@ func (c *Comm) Split(color, key int) *Comm {
 			me = i
 		}
 	}
-	return &Comm{w: c.w, group: group, me: me, tagSalt: c.tagSalt ^ (color+1)*0x9e37}
+	return &Comm{w: c.w, group: group, me: me, tagSalt: c.tagSalt ^ (color+1)*0x9e37}, nil
 }

@@ -47,8 +47,14 @@ func TestSendRecvFIFO(t *testing.T) {
 			c.Send(1, 7, []float64{3})
 			return nil
 		}
-		first := c.Recv(0, 7)
-		second := c.Recv(0, 7)
+		first, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		second, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
 		if len(first) != 2 || first[0] != 1 || len(second) != 1 || second[0] != 3 {
 			return fmt.Errorf("FIFO violated: %v then %v", first, second)
 		}
@@ -68,7 +74,10 @@ func TestSendCopiesPayload(t *testing.T) {
 			c.Barrier()
 			return nil
 		}
-		got := c.Recv(0, 0)
+		got, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
 		c.Barrier()
 		if got[0] != 42 {
 			return fmt.Errorf("payload aliased: %v", got)
@@ -101,7 +110,10 @@ func TestAllgatherv(t *testing.T) {
 		for i := range mine {
 			mine[i] = float64(c.Rank()*100 + i)
 		}
-		all := c.Allgatherv(mine)
+		all, err := c.Allgatherv(mine)
+		if err != nil {
+			return err
+		}
 		if len(all) != 5 {
 			return fmt.Errorf("got %d parts", len(all))
 		}
@@ -168,7 +180,10 @@ func TestReduceScatterValidation(t *testing.T) {
 
 func TestAllreduce(t *testing.T) {
 	_, err := Run(6, Zero(), func(c *Comm) error {
-		out := c.Allreduce([]float64{float64(c.Rank()), 1})
+		out, err := c.Allreduce([]float64{float64(c.Rank()), 1})
+		if err != nil {
+			return err
+		}
 		if out[0] != 15 || out[1] != 6 {
 			return fmt.Errorf("allreduce = %v", out)
 		}
@@ -182,12 +197,18 @@ func TestAllreduce(t *testing.T) {
 func TestSplitFormsGroups(t *testing.T) {
 	_, err := Run(6, Zero(), func(c *Comm) error {
 		color := c.Rank() % 2
-		sub := c.Split(color, c.Rank())
+		sub, err := c.Split(color, c.Rank())
+		if err != nil {
+			return err
+		}
 		if sub.Size() != 3 {
 			return fmt.Errorf("subcomm size %d", sub.Size())
 		}
 		// Collectives within the subgroup see only its members.
-		all := sub.Allgatherv([]float64{float64(c.Rank())})
+		all, err := sub.Allgatherv([]float64{float64(c.Rank())})
+		if err != nil {
+			return err
+		}
 		for i, part := range all {
 			want := float64(color + 2*i)
 			if part[0] != want {
@@ -204,7 +225,10 @@ func TestSplitFormsGroups(t *testing.T) {
 func TestSplitKeyOrdersRanks(t *testing.T) {
 	_, err := Run(4, Zero(), func(c *Comm) error {
 		// Reverse order via key.
-		sub := c.Split(0, -c.Rank())
+		sub, err := c.Split(0, -c.Rank())
+		if err != nil {
+			return err
+		}
 		wantIdx := 3 - c.Rank()
 		if sub.Rank() != wantIdx {
 			return fmt.Errorf("global %d got sub rank %d, want %d", c.Rank(), sub.Rank(), wantIdx)
@@ -218,14 +242,14 @@ func TestSplitKeyOrdersRanks(t *testing.T) {
 
 func TestTimeComputeAccounting(t *testing.T) {
 	stats, err := Run(3, Zero(), func(c *Comm) error {
-		c.TimeCompute(func() {
+		return c.TimeCompute(func() error {
 			s := 0.0
 			for i := 0; i < 100000; i++ {
 				s += float64(i)
 			}
 			_ = s
+			return nil
 		})
-		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -305,7 +329,10 @@ func TestQuickAllreduceIsSum(t *testing.T) {
 			for i := range data {
 				data[i] = float64(c.Rank()*n + i)
 			}
-			got := c.Allreduce(data)
+			got, err := c.Allreduce(data)
+			if err != nil {
+				return err
+			}
 			for i := range got {
 				var want float64
 				for r := 0; r < p; r++ {

@@ -99,6 +99,12 @@ type (
 	DistCPResult = dist.CPResult
 	// CostModel prices communication in the distributed runtime.
 	CostModel = mpi.CostModel
+	// FaultPlan is a seeded, deterministic fault schedule for the
+	// distributed runtime (set DistConfig.Faults to arm it).
+	FaultPlan = mpi.FaultPlan
+	// CommStats carries the fault-tolerance telemetry of a distributed
+	// decomposition (DistCPResult.Comm).
+	CommStats = metrics.CommStats
 
 	// DatasetSpec describes a Table II data set generator.
 	DatasetSpec = gen.DatasetSpec
@@ -227,6 +233,11 @@ func DistCPALS(t *Tensor, cfg DistConfig, opts DistCPOptions) (*DistCPResult, er
 
 // DefaultCluster is the distributed runtime's default network model.
 func DefaultCluster() CostModel { return mpi.DefaultCluster() }
+
+// NewFaultPlan returns an unarmed fault plan with the default
+// reliability knobs; set its probability / rank fields to inject
+// faults under the distributed collectives.
+func NewFaultPlan(seed int64) *FaultPlan { return mpi.NewFaultPlan(seed) }
 
 // NewTensorN allocates an empty order-N tensor.
 func NewTensorN(dims []int, capacity int) *TensorN { return nmode.NewTensor(dims, capacity) }
