@@ -64,6 +64,9 @@ func main() {
 		fmt.Printf("autotune: %d trials -> %s\n", len(trials), plan)
 	}
 	fmt.Printf("plan: %s\n", plan)
+	if kv := spblock.PlanKernel(plan, *rank); kv.Name != "" {
+		fmt.Printf("kernel: %s (rank-strip register blocking, width %d)\n", kv.Name, kv.Width)
+	}
 
 	start := time.Now()
 	res, err := spblock.CPALS(x, spblock.CPOptions{

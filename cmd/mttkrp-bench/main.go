@@ -25,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"spblock"
 	"spblock/internal/bench"
@@ -43,6 +45,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "kernel parallelism (0 = GOMAXPROCS)")
 		autotune   = flag.Bool("autotune", true, "tune MB/RankB block sizes (Sec. V-C heuristic)")
 		seed       = flag.Int64("seed", 42, "generator/factor seed")
+		widths     = flag.String("widths", "", `sweep rank-strip widths as extra RankB plans: comma-separated list, or "all" for every registered kernel width`)
 		jsonOut    = flag.String("json", "", "also write a versioned BENCH record to this path")
 		baseline   = flag.String("baseline", "", "compare against a committed BENCH record; exit 1 on regression")
 		maxregress = flag.Float64("maxregress", 2.0, "regression threshold for -baseline (ratio over baseline ns/op)")
@@ -57,15 +60,19 @@ func main() {
 	if name == "" {
 		name = *in
 	}
+	sweep, err := parseWidths(*widths, *rank)
+	if err != nil {
+		fatal(err)
+	}
 	var rec *bench.Record
 	if nt.Order() == 3 {
 		x, err := tensor.FromNMode(nt)
 		if err != nil {
 			fatal(err)
 		}
-		rec = bench3(x, name, *rank, *reps, *workers, *autotune, *seed)
+		rec = bench3(x, name, *rank, *reps, *workers, *autotune, *seed, sweep)
 	} else {
-		rec = benchN(nt, name, *rank, *reps, *workers, *seed)
+		rec = benchN(nt, name, *rank, *reps, *workers, *seed, sweep)
 	}
 	if *jsonOut != "" {
 		if err := bench.WriteRecord(*jsonOut, rec); err != nil {
@@ -88,7 +95,7 @@ func main() {
 	}
 }
 
-func bench3(x *tensor.COO, name string, rank, reps, workers int, autotune bool, seed int64) *bench.Record {
+func bench3(x *tensor.COO, name string, rank, reps, workers int, autotune bool, seed int64, sweep []int) *bench.Record {
 	stats := spblock.ComputeStats(x)
 	profile, err := tensor.ProfileTensor(x)
 	if err != nil {
@@ -126,8 +133,7 @@ func bench3(x *tensor.COO, name string, rank, reps, workers int, autotune bool, 
 
 	rec := bench.NewRecord(name, x.Dims[:], x.NNZ(), rank, reps, workers)
 	var baseline float64
-	fmt.Printf("%-36s %10s %9s %9s\n", "plan", "time (s)", "GFLOP/s", "speedup")
-	for _, plan := range plans {
+	run := func(plan spblock.Plan) bench.RecordEntry {
 		exec, err := spblock.NewExecutor(x, plan)
 		if err != nil {
 			fatal(err)
@@ -145,13 +151,10 @@ func bench3(x *tensor.COO, name string, rank, reps, workers int, autotune bool, 
 		if plan.Method == spblock.MethodSPLATT {
 			baseline = sec
 		}
-		speedup := "-"
-		if baseline > 0 {
-			speedup = fmt.Sprintf("%.2fx", baseline/sec)
-		}
 		snap := exec.Metrics().Snapshot()
 		entry := bench.RecordEntry{
 			Plan:      plan.String(),
+			Kernel:    snap.Kernel,
 			BestNS:    int64(sec * 1e9),
 			GFLOPS:    gf,
 			Imbalance: snap.Imbalance(),
@@ -161,15 +164,76 @@ func bench3(x *tensor.COO, name string, rank, reps, workers int, autotune bool, 
 			entry.Speedup = baseline / sec
 		}
 		rec.Entries = append(rec.Entries, entry)
-		fmt.Printf("%-36s %10.4f %9.2f %9s\n", plan.String(), sec, gf, speedup)
+		return entry
+	}
+
+	fmt.Printf("%-36s %-8s %10s %9s %9s\n", "plan", "kernel", "time (s)", "GFLOP/s", "speedup")
+	for _, plan := range plans {
+		e := run(plan)
+		speedup := "-"
+		if baseline > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(baseline)*1e9/float64(e.BestNS))
+		}
+		fmt.Printf("%-36s %-8s %10.4f %9.2f %9s\n", e.Plan, kernelLabel(e.Kernel), float64(e.BestNS)/1e9, e.GFLOPS, speedup)
+	}
+	if len(sweep) > 0 {
+		fmt.Printf("\nrank-strip width sweep (rankb):\n")
+		fmt.Printf("%-10s %-8s %14s %9s\n", "width", "kernel", "ns/run", "GFLOP/s")
+		for _, w := range sweep {
+			e := run(spblock.Plan{Method: spblock.MethodRankB, RankBlockCols: w, Workers: workers})
+			fmt.Printf("%-10d %-8s %14d %9.2f\n", w, kernelLabel(e.Kernel), e.BestNS, e.GFLOPS)
+		}
 	}
 	return rec
+}
+
+// kernelLabel renders an entry's kernel variant for the console table
+// ("-" for plans that never resolve one).
+func kernelLabel(k string) string {
+	if k == "" {
+		return "-"
+	}
+	return k
+}
+
+// parseWidths expands the -widths flag: "all" is every registered
+// kernel width that fits the rank (plus the rank itself, the whole-rank
+// strip); otherwise a comma-separated list of positive strip widths,
+// each capped at the rank.
+func parseWidths(s string, rank int) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	if s == "all" {
+		var ws []int
+		for _, w := range spblock.KernelWidths() {
+			if w <= rank {
+				ws = append(ws, w)
+			}
+		}
+		if len(ws) == 0 || ws[len(ws)-1] != rank {
+			ws = append(ws, rank)
+		}
+		return ws, nil
+	}
+	var ws []int
+	for _, f := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad -widths entry %q", f)
+		}
+		if w > rank {
+			w = rank
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
 }
 
 // benchN times the unified order-N engine's configuration ladder on a
 // higher-order tensor: plain CSF, rank strips, a multi-dimensional
 // block grid, and the combination — each a pooled mode-0 executor.
-func benchN(t *nmode.Tensor, name string, rank, reps, workers int, seed int64) *bench.Record {
+func benchN(t *nmode.Tensor, name string, rank, reps, workers int, seed int64, sweep []int) *bench.Record {
 	n := t.Order()
 	fmt.Printf("tensor: %v nnz=%d (order %d)\n", t.Dims, t.NNZ(), n)
 	fmt.Printf("rank:   %d\n\n", rank)
@@ -197,6 +261,12 @@ func benchN(t *nmode.Tensor, name string, rank, reps, workers int, seed int64) *
 		{"csf-n+mb", spblock.OptionsN{Grid: grid, Workers: workers}},
 		{"csf-n+mb+rankb", spblock.OptionsN{Grid: grid, RankBlockCols: min(64, rank), Workers: workers}},
 	}
+	for _, w := range sweep {
+		rows = append(rows, struct {
+			name string
+			opts spblock.OptionsN
+		}{fmt.Sprintf("csf-n+rankb[bs=%d]", w), spblock.OptionsN{RankBlockCols: w, Workers: workers}})
+	}
 
 	factors := make([]*spblock.Matrix, n)
 	for m := 1; m < n; m++ {
@@ -206,7 +276,7 @@ func benchN(t *nmode.Tensor, name string, rank, reps, workers int, seed int64) *
 
 	rec := bench.NewRecord(name, t.Dims, t.NNZ(), rank, reps, workers)
 	var baseline float64
-	fmt.Printf("%-36s %10s %9s %9s\n", "plan", "time (s)", "GFLOP/s", "speedup")
+	fmt.Printf("%-36s %-8s %10s %9s %9s\n", "plan", "kernel", "time (s)", "GFLOP/s", "speedup")
 	for i, row := range rows {
 		exec, err := spblock.NewExecutorN(t, 0, row.opts)
 		if err != nil {
@@ -235,6 +305,7 @@ func benchN(t *nmode.Tensor, name string, rank, reps, workers int, seed int64) *
 		snap := exec.Metrics().Snapshot()
 		entry := bench.RecordEntry{
 			Plan:      row.name,
+			Kernel:    snap.Kernel,
 			BestNS:    int64(sec * 1e9),
 			GFLOPS:    gf,
 			Imbalance: snap.Imbalance(),
@@ -244,7 +315,7 @@ func benchN(t *nmode.Tensor, name string, rank, reps, workers int, seed int64) *
 			entry.Speedup = baseline / sec
 		}
 		rec.Entries = append(rec.Entries, entry)
-		fmt.Printf("%-36s %10.4f %9.2f %9s\n", row.name, sec, gf, speedup)
+		fmt.Printf("%-36s %-8s %10.4f %9.2f %9s\n", row.name, kernelLabel(snap.Kernel), sec, gf, speedup)
 	}
 	return rec
 }

@@ -26,6 +26,7 @@ import (
 
 	"spblock/internal/cachesim"
 	"spblock/internal/core"
+	"spblock/internal/kernel"
 	"spblock/internal/roofline"
 	"spblock/internal/tensor"
 )
@@ -261,14 +262,14 @@ func tuneWithModel(t *tensor.COO, rank int, method core.Method, opts Options) (R
 		}
 	}
 	if method == core.MethodRankB || method == core.MethodMBRankB {
-		// Walk the strip ladder in RegisterBlockWidth increments, capped
-		// at the rank, exactly like the exhaustive sweep. The kernels only
-		// ever run strips in register-width multiples, so doubling
-		// (16, 32, 64, ...) skipped the in-between widths the exhaustive
-		// search could pick (48 at rank 64), and `bs < rank` meant a
-		// rank <= RegisterBlockWidth search evaluated no strip at all —
-		// the strategies could never agree on small ranks.
-		for bs := min(core.RegisterBlockWidth, rank); bs <= rank; bs += core.RegisterBlockWidth {
+		// Walk the kernel registry's strip ladder, capped at and
+		// including the rank, exactly like the exhaustive sweep. The
+		// ladder is every width the registered register-block variants
+		// execute without a super-MinWidth scalar tail (multiples of
+		// kernel.MinWidth), plus the rank itself — so a
+		// rank <= MinWidth search still evaluates the whole-rank strip
+		// and the strategies agree on small ranks.
+		for _, bs := range kernel.StripCandidates(rank) {
 			cand := best
 			cand.RankBlockCols = bs
 			if c := eval(cand); c < bestCost {
@@ -290,9 +291,7 @@ func tuneExhaustive(t *tensor.COO, rank int, method core.Method, opts Options) (
 	}
 	strips := []int{0}
 	if method == core.MethodRankB || method == core.MethodMBRankB {
-		for bs := core.RegisterBlockWidth; bs < rank; bs += core.RegisterBlockWidth {
-			strips = append(strips, bs)
-		}
+		strips = append(strips, kernel.StripCandidates(rank)...)
 	}
 	best := core.Plan{Method: method, Grid: [3]int{1, 1, 1}, Workers: opts.Workers}
 	bestCost := 1e300

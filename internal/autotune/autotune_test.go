@@ -1,11 +1,13 @@
 package autotune
 
 import (
+	"maps"
 	"math/rand"
 	"runtime"
 	"testing"
 
 	"spblock/internal/core"
+	"spblock/internal/kernel"
 	"spblock/internal/la"
 	"spblock/internal/tensor"
 )
@@ -304,5 +306,58 @@ func TestEnumerateGridsBounds(t *testing.T) {
 	// Mode 0 allows 1, 2; modes 1-2 allow 1, 2, 4, 8.
 	if len(grids) != 2*4*4 {
 		t.Fatalf("got %d grids, want 32", len(grids))
+	}
+}
+
+func TestHeuristicAndModelWalkSameStripLadder(t *testing.T) {
+	// Regression for the core/heuristic.go ladder: its old
+	// `bs < rank` loop never evaluated a strip at bs == rank, while
+	// the model walk (fixed earlier) did — so under a cost that keeps
+	// improving up to the full rank the two searches disagreed on the
+	// winner. Both ladders now come from kernel.StripCandidates; under
+	// a strictly decreasing cost the heuristic's stopping rule never
+	// fires, so both must visit exactly the baseline plus every
+	// registry candidate, full-rank rung included.
+	rank := 48
+	decreasing := func(p core.Plan) float64 {
+		if p.RankBlockCols == 0 {
+			return 1000
+		}
+		return 1000 - float64(p.RankBlockCols)
+	}
+	plan, trials, err := core.AutotuneWithCost(tensor.Dims{16, 16, 16}, rank, core.MethodRankB,
+		core.Plan{Method: core.MethodRankB}, decreasing, core.AutotuneOptions{Tolerance: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heuristicSeen := map[int]bool{}
+	for _, tr := range trials {
+		heuristicSeen[tr.Plan.RankBlockCols] = true
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	x := randCOO(rng, tensor.Dims{16, 256, 16}, 4000)
+	mod, err := Tune(x, rank, core.MethodRankB, StrategyModel, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelSeen := map[int]bool{}
+	for _, tr := range mod.Trials {
+		modelSeen[tr.Plan.RankBlockCols] = true
+	}
+
+	want := map[int]bool{0: true}
+	for _, bs := range kernel.StripCandidates(rank) {
+		want[bs] = true
+	}
+	if !maps.Equal(heuristicSeen, want) {
+		t.Fatalf("heuristic visited %v, want %v", heuristicSeen, want)
+	}
+	if !maps.Equal(modelSeen, want) {
+		t.Fatalf("model visited %v, want %v", modelSeen, want)
+	}
+	if plan.RankBlockCols != rank {
+		t.Fatalf("heuristic best bs = %d under strictly improving cost, want the full-rank rung %d",
+			plan.RankBlockCols, rank)
 	}
 }

@@ -12,7 +12,16 @@ import (
 // RecordSchemaVersion is the current BENCH_*.json schema. Bump it when
 // a field changes meaning; readers reject records from other versions
 // instead of silently comparing incompatible quantities.
-const RecordSchemaVersion = 1
+//
+// v2 added the per-entry kernel variant (RecordEntry.Kernel) and the
+// -widths sweep entries. v1 records are still loadable: every v1 field
+// kept its meaning, v2 only added optional fields, so comparisons
+// against a v1 baseline remain valid (v1 entries simply carry no
+// kernel name).
+const RecordSchemaVersion = 2
+
+// minReadableSchema is the oldest schema LoadRecord still accepts.
+const minReadableSchema = 1
 
 // Record is one mttkrp-bench run in machine-readable form: the input
 // tensor, the sweep configuration, and one entry per timed plan. CI
@@ -43,6 +52,10 @@ type RecordEntry struct {
 	// Plan is the plan's canonical string form — the comparison key
 	// between a fresh run and the baseline.
 	Plan string `json:"plan"`
+	// Kernel names the width-specialized rank-strip kernel variant the
+	// plan dispatched through (e.g. "w16"; empty for plans that never
+	// resolve one, and in schema-1 records). Schema 2.
+	Kernel string `json:"kernel,omitempty"`
 	// BestNS is the fastest repetition's wall time in nanoseconds.
 	BestNS int64 `json:"best_ns"`
 	// GFLOPS is the Equation 2 throughput at BestNS.
@@ -92,8 +105,8 @@ func LoadRecord(path string) (*Record, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("bench: %s: %w", path, err)
 	}
-	if r.Schema != RecordSchemaVersion {
-		return nil, fmt.Errorf("bench: %s: schema %d, want %d", path, r.Schema, RecordSchemaVersion)
+	if r.Schema < minReadableSchema || r.Schema > RecordSchemaVersion {
+		return nil, fmt.Errorf("bench: %s: schema %d, want %d..%d", path, r.Schema, minReadableSchema, RecordSchemaVersion)
 	}
 	return &r, nil
 }

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -10,6 +11,11 @@ import (
 
 	"spblock/internal/metrics"
 )
+
+// updateGolden regenerates testdata/BENCH_golden.json in place:
+//
+//	go test ./internal/bench -run TestRecordGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 func testRecord() *Record {
 	r := NewRecord("Poisson1", []int{64, 64, 64}, 5000, 32, 3, 1)
@@ -27,6 +33,7 @@ func testRecord() *Record {
 		},
 		{
 			Plan:      "rankb(bs=16,w=1)",
+			Kernel:    "w16",
 			BestNS:    98765,
 			GFLOPS:    1.9,
 			Speedup:   1.25,
@@ -34,6 +41,7 @@ func testRecord() *Record {
 			Counters: metrics.Snapshot{
 				Runs: 3, NNZ: 30000, Fibers: 6000, Strips: 6,
 				BytesEst: 3100000, WallNS: 296295, WorkerNS: []int64{296295},
+				Kernel: "w16",
 			},
 		},
 	}
@@ -84,6 +92,11 @@ func TestRecordGolden(t *testing.T) {
 	}
 	got = append(got, '\n')
 	golden := filepath.Join("testdata", "BENCH_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
 	want, err := os.ReadFile(golden)
 	if err != nil {
 		t.Fatal(err)
@@ -98,8 +111,36 @@ func TestRecordGolden(t *testing.T) {
 	if err := json.Unmarshal(got, &top); err != nil {
 		t.Fatal(err)
 	}
-	if string(top["schema"]) != "1" {
-		t.Fatalf(`"schema" field = %s, want 1`, top["schema"])
+	if string(top["schema"]) != "2" {
+		t.Fatalf(`"schema" field = %s, want 2`, top["schema"])
+	}
+}
+
+// TestLoadRecordAcceptsSchema1 pins backwards compatibility: the
+// committed results/BENCH_seed.json baseline predates the kernel
+// fields and must keep loading (its entries just carry no kernel
+// name).
+func TestLoadRecordAcceptsSchema1(t *testing.T) {
+	rec := testRecord()
+	rec.Schema = 1
+	for i := range rec.Entries {
+		rec.Entries[i].Kernel = ""
+		rec.Entries[i].Counters.Kernel = ""
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_v1.json")
+	if err := WriteRecord(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadRecord(path)
+	if err != nil {
+		t.Fatalf("schema-1 record rejected: %v", err)
+	}
+	if back.Schema != 1 {
+		t.Fatalf("schema mangled: %d", back.Schema)
+	}
+	// A v1 baseline still compares cleanly against a v2 run.
+	if regs := CompareRecords(back, testRecord(), 2.0); len(regs) != 0 {
+		t.Fatalf("v1 baseline vs v2 run flagged: %v", regs)
 	}
 }
 

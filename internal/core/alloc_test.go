@@ -36,6 +36,13 @@ func TestRunSteadyStateAllocations(t *testing.T) {
 		{Method: MethodRankB, RankBlockCols: 16, Workers: 4},
 		{Method: MethodRankB, RankBlockCols: 16, NoStripPacking: true, Workers: 1},
 		{Method: MethodRankB, Workers: 1}, // whole rank, no strips
+		// One plan per registered kernel width plus the scalar variant:
+		// the cached-function-pointer dispatch must stay allocation-free
+		// for every entry the registry can resolve.
+		{Method: MethodRankB, RankBlockCols: 8, Workers: 1},
+		{Method: MethodRankB, RankBlockCols: 24, Workers: 1},
+		{Method: MethodRankB, RankBlockCols: 32, Workers: 1},
+		{Method: MethodRankB, RankBlockCols: 4, Workers: 1}, // below MinWidth: scalar tails
 		{Method: MethodMB, Grid: [3]int{4, 2, 2}, Workers: 1},
 		{Method: MethodMB, Grid: [3]int{4, 2, 2}, Workers: 4},
 		{Method: MethodMBRankB, Grid: [3]int{4, 2, 2}, RankBlockCols: 16, Workers: 1},

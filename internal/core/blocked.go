@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"spblock/internal/kernel"
 	"spblock/internal/la"
 	"spblock/internal/tensor"
 )
@@ -174,7 +175,7 @@ func (bt *BlockedTensor) FactorAccessCounts() [3]int {
 // SPLATT uses for slices); Executor.runMB shares layers across workers.
 //
 //spblock:hotpath
-func mbLayer(bt *BlockedTensor, b, c, out *la.Matrix, bs, bi int, accum []float64) {
+func mbLayer(bt *BlockedTensor, b, c, out *la.Matrix, kern *kernel.Strip, bs, bi int, accum []float64) {
 	for bj := 0; bj < bt.Grid[1]; bj++ {
 		for bk := 0; bk < bt.Grid[2]; bk++ {
 			blk := bt.BlockAt(bi, bj, bk)
@@ -184,7 +185,7 @@ func mbLayer(bt *BlockedTensor, b, c, out *la.Matrix, bs, bi int, accum []float6
 			if bs == 0 {
 				splattRange(blk, b, c, out, accum, 0, blk.NumSlices())
 			} else {
-				rankBRange(blk, b, c, out, bs, 0, blk.NumSlices())
+				rankBRange(blk, b, c, out, kern, bs, 0, blk.NumSlices())
 			}
 		}
 	}

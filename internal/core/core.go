@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"spblock/internal/analysis/check"
+	"spblock/internal/kernel"
 	"spblock/internal/la"
 	"spblock/internal/metrics"
 	"spblock/internal/tensor"
@@ -59,11 +60,13 @@ func (m Method) String() string {
 	}
 }
 
-// RegisterBlockWidth is NRegB of Algorithm 2: the number of columns
-// processed with fully unrolled scalar accumulators. 16 float64 lanes
-// are two 64-byte cache lines, the paper's choice ("a multiple of the
-// cache line size").
-const RegisterBlockWidth = 16
+// RegisterBlockWidth is NRegB of Algorithm 2: the default number of
+// columns processed with fully unrolled scalar accumulators. 16
+// float64 lanes are two 64-byte cache lines, the paper's choice ("a
+// multiple of the cache line size"). The actual width dispatched per
+// executor comes from the internal/kernel registry (8/16/24/32-wide
+// variants, resolved from the effective strip width).
+const RegisterBlockWidth = kernel.DefaultWidth
 
 // Plan describes how to execute MTTKRP on one tensor.
 type Plan struct {
@@ -196,6 +199,13 @@ func NewExecutor(t *tensor.COO, plan Plan) (*Executor, error) {
 // Plan returns the executor's plan.
 func (e *Executor) Plan() Plan { return e.plan }
 
+// Kernel reports the register-block kernel variant the executor
+// dispatches through. It is resolved from the effective strip width on
+// the first Run at a given rank, so before any Run it is the zero
+// Variant; methods without rank blocking (COO, SPLATT, MB) never
+// resolve one.
+func (e *Executor) Kernel() kernel.Variant { return e.ws.kern.Variant }
+
 // Metrics returns the executor's instrumentation collector: per-Run
 // counters and per-worker time buckets, always collecting. Snapshot it
 // between Runs, never mid-Run.
@@ -271,7 +281,7 @@ func (e *Executor) runMB(b, c, out *la.Matrix, bs int) {
 	if len(ws.runners) == 0 {
 		accum := ws.accums[0][:out.Cols]
 		for bi := 0; bi < e.blocked.Grid[0]; bi++ {
-			mbLayer(e.blocked, b, c, out, bs, bi, accum)
+			mbLayer(e.blocked, b, c, out, &ws.kern, bs, bi, accum)
 		}
 		return
 	}
@@ -332,7 +342,7 @@ func (e *Executor) stripKernel(pb, pc, po *la.Matrix) {
 		return
 	}
 	if len(ws.runners) == 0 {
-		rankBRange(e.csf, pb, pc, po, po.Cols, 0, e.csf.NumSlices())
+		rankBRange(e.csf, pb, pc, po, &ws.kern, po.Cols, 0, e.csf.NumSlices())
 		return
 	}
 	ws.publish(pb, pc, po, po.Cols)
@@ -346,6 +356,21 @@ func (e *Executor) rankBlock(r int) int {
 		return r
 	}
 	return bs
+}
+
+// PlanKernel predicts the rank-strip kernel variant an executor built
+// for plan resolves at the given rank, without building one — the same
+// width clamp and registry lookup the cold ensure half performs.
+// Methods that never register-block report the zero Variant.
+func PlanKernel(plan Plan, rank int) kernel.Variant {
+	if plan.Method != MethodRankB && plan.Method != MethodMBRankB || rank <= 0 {
+		return kernel.Variant{}
+	}
+	bs := plan.RankBlockCols
+	if bs <= 0 || bs > rank {
+		bs = rank
+	}
+	return kernel.Resolve(bs).Variant
 }
 
 // MTTKRP is the one-shot convenience entry point: it builds an

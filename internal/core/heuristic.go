@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"spblock/internal/kernel"
 	"spblock/internal/la"
 	"spblock/internal/tensor"
 )
@@ -47,8 +48,12 @@ type CostFunc func(Plan) float64
 
 // searchRankB implements the rank-blocking half of the heuristic:
 // "go through block sizes in 128-byte increments — equivalent to the
-// cache line size — until the performance stops improving". 128 bytes
-// is 16 float64 columns, i.e. RegisterBlockWidth.
+// cache line size — until the performance stops improving". The ladder
+// comes from kernel.StripCandidates: every width the kernel registry
+// can execute without a super-MinWidth scalar tail, up to and
+// including the rank itself — the final rung the old `bs < rank` loop
+// never evaluated (the same walk internal/autotune's model ladder
+// uses; a parity test pins the two).
 //
 // base carries the method/grid/workers; the returned plan is base with
 // the winning RankBlockCols. The trial log is appended to trials.
@@ -61,7 +66,7 @@ func searchRankB(base Plan, rank int, cost CostFunc, tol float64, trials *[]Tria
 	best := base
 	best.RankBlockCols = 0 // whole rank: the unblocked baseline
 	bestCost := measure(best)
-	for bs := RegisterBlockWidth; bs < rank; bs += RegisterBlockWidth {
+	for _, bs := range kernel.StripCandidates(rank) {
 		cand := base
 		cand.RankBlockCols = bs
 		c := measure(cand)

@@ -3,8 +3,10 @@ package core
 import (
 	"math"
 	"math/rand"
+	"slices"
 	"testing"
 
+	"spblock/internal/kernel"
 	"spblock/internal/la"
 	"spblock/internal/tensor"
 )
@@ -44,15 +46,34 @@ func convexRankCost(optBS int, rank int) CostFunc {
 }
 
 func TestSearchRankBFindsSweetSpot(t *testing.T) {
-	// Optimum at 48 columns: search must walk 16, 32, 48, 64 and stop.
+	// Optimum at 48 columns: search must walk the registry ladder
+	// (8, 16, 24, 32, 40, 48, 56) and stop at the first worsening rung.
 	var trials []Trial
 	best := searchRankB(Plan{Method: MethodRankB}, 512, convexRankCost(48, 512), 0.001, &trials)
 	if best.RankBlockCols != 48 {
 		t.Fatalf("best bs = %d, want 48 (trials: %v)", best.RankBlockCols, trials)
 	}
-	// Stopping rule: must not have probed far past the optimum.
-	if len(trials) > 6 {
+	// Stopping rule: must not have probed far past the optimum — the
+	// baseline plus the seven rungs up to the first worsening one.
+	if len(trials) > 8 {
 		t.Fatalf("search did not stop after worsening: %d trials", len(trials))
+	}
+}
+
+func TestSearchRankBReachesFullRank(t *testing.T) {
+	// Strictly decreasing cost up to bs == rank: the ladder must reach
+	// the rank itself (the rung the old `bs < rank` loop skipped).
+	rank := 64
+	cost := func(p Plan) float64 {
+		if p.RankBlockCols == 0 {
+			return 100
+		}
+		return 100 - float64(p.RankBlockCols)
+	}
+	var trials []Trial
+	best := searchRankB(Plan{Method: MethodRankB}, rank, cost, 0.001, &trials)
+	if best.RankBlockCols != rank {
+		t.Fatalf("best bs = %d, want %d (full-rank rung not evaluated)", best.RankBlockCols, rank)
 	}
 }
 
@@ -182,8 +203,8 @@ func TestAutotuneEndToEnd(t *testing.T) {
 		if plan.RankBlockCols < 0 || plan.RankBlockCols > rank {
 			t.Fatalf("%v: bs = %d out of range", method, plan.RankBlockCols)
 		}
-		if plan.RankBlockCols%RegisterBlockWidth != 0 {
-			t.Fatalf("%v: bs = %d not a multiple of the register width", method, plan.RankBlockCols)
+		if bs := plan.RankBlockCols; bs != 0 && !slices.Contains(kernel.StripCandidates(rank), bs) {
+			t.Fatalf("%v: bs = %d not a registry strip candidate", method, bs)
 		}
 		if method != MethodSPLATT && len(trials) == 0 {
 			t.Fatalf("%v: empty trial log", method)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"spblock/internal/kernel"
 	"spblock/internal/la"
 	"spblock/internal/tensor"
 )
@@ -26,9 +27,7 @@ func cooRange(t *tensor.COO, b, c, out *la.Matrix, lo, hi int) {
 		brow := b.Row(int(t.J[p]))
 		crow := c.Row(int(t.K[p]))
 		orow := out.Row(int(t.I[p]))
-		for q := 0; q < r; q++ {
-			orow[q] += v * brow[q] * crow[q]
-		}
+		kernel.KRPAxpy(orow[:r], v, brow, crow)
 	}
 }
 
@@ -45,10 +44,7 @@ func cooKernel(t *tensor.COO, b, c, out *la.Matrix) {
 //spblock:hotpath
 func addInto(dst, src *la.Matrix) {
 	for i := 0; i < dst.Rows; i++ {
-		d, s := dst.Row(i), src.Row(i)
-		for q := range d {
-			d[q] += s[q]
-		}
+		kernel.Add(dst.Row(i), src.Row(i))
 	}
 }
 
@@ -68,16 +64,9 @@ func splattRange(t *tensor.CSF, b, c, out *la.Matrix, accum []float64, lo, hi in
 		for f := t.SlicePtr[s]; f < t.SlicePtr[s+1]; f++ {
 			clear(accum)
 			for p := t.FiberPtr[f]; p < t.FiberPtr[f+1]; p++ {
-				v := t.Val[p]
-				brow := b.Row(int(t.NzJ[p]))
-				for q := 0; q < r; q++ {
-					accum[q] += v * brow[q]
-				}
+				kernel.Axpy(accum[:r], t.Val[p], b.Row(int(t.NzJ[p])))
 			}
-			crow := c.Row(int(t.FiberK[f]))
-			for q := 0; q < r; q++ {
-				orow[q] += accum[q] * crow[q]
-			}
+			kernel.ScaleAdd(orow[:r], accum, c.Row(int(t.FiberK[f])))
 		}
 	}
 }
@@ -128,13 +117,20 @@ func sliceShares(t *tensor.CSF, workers int) [][2]int {
 
 // rankBRange is Algorithm 2 over slices [lo, hi): the rank is swept in
 // strips of bs columns (the outer `while rr < R` loop), and within a
-// strip each fiber is processed in RegisterBlockWidth-wide register
-// blocks whose accumulators live entirely in scalar locals — the
-// register blocking that removes the accumulator-array loads the PPA
-// identified as a bottleneck (Table I, type 3).
+// strip each fiber is processed in kern.Width-wide register blocks
+// whose accumulators live entirely in scalar locals — the register
+// blocking that removes the accumulator-array loads the PPA identified
+// as a bottleneck (Table I, type 3).
+//
+// kern is the variant the executor resolved once on its cold ensure
+// path (kernel.Resolve of the effective strip width); dispatch here is
+// a cached function pointer, never an interface or map lookup. The
+// resolve contract guarantees every tail is narrower than
+// kernel.MaxWidth: tails trail an unrolled body (width < kern.Width),
+// or the whole strip is below kernel.MinWidth (scalar variant).
 //
 //spblock:hotpath
-func rankBRange(t *tensor.CSF, b, c, out *la.Matrix, bs, lo, hi int) {
+func rankBRange(t *tensor.CSF, b, c, out *la.Matrix, kern *kernel.Strip, bs, lo, hi int) {
 	r := out.Cols
 	if bs <= 0 || bs > r {
 		bs = r
@@ -150,87 +146,15 @@ func rankBRange(t *tensor.CSF, b, c, out *la.Matrix, bs, lo, hi int) {
 				pLo, pHi := int(t.FiberPtr[f]), int(t.FiberPtr[f+1])
 				k := int(t.FiberK[f])
 				r0 := rr
-				for ; r0+RegisterBlockWidth <= stripEnd; r0 += RegisterBlockWidth {
-					fiber16(t, b, c, out, pLo, pHi, i, k, r0)
+				if kw := kern.Width; kw > 0 {
+					for ; r0+kw <= stripEnd; r0 += kw {
+						kern.Fiber(t.Val, t.NzJ, b, c, out, pLo, pHi, i, k, r0)
+					}
 				}
 				if r0 < stripEnd {
-					fiberTail(t, b, c, out, pLo, pHi, i, k, r0, stripEnd)
+					kern.FiberTail(t.Val, t.NzJ, b, c, out, pLo, pHi, i, k, r0, stripEnd)
 				}
 			}
 		}
-	}
-}
-
-// fiber16 processes one fiber for 16 consecutive columns starting at
-// r0, with all accumulators as scalar locals (registers). The nonzeros
-// of the fiber are re-read for every register block; their reuse
-// distance is tiny, so they come from L1 (Sec. V-B).
-//
-//spblock:hotpath
-func fiber16(t *tensor.CSF, b, c, out *la.Matrix, pLo, pHi, i, k, r0 int) {
-	var a0, a1, a2, a3, a4, a5, a6, a7 float64
-	var a8, a9, a10, a11, a12, a13, a14, a15 float64
-	bd, bs := b.Data, b.Stride
-	for p := pLo; p < pHi; p++ {
-		v := t.Val[p]
-		brow := bd[int(t.NzJ[p])*bs+r0:]
-		brow = brow[:16:16]
-		a0 += v * brow[0]
-		a1 += v * brow[1]
-		a2 += v * brow[2]
-		a3 += v * brow[3]
-		a4 += v * brow[4]
-		a5 += v * brow[5]
-		a6 += v * brow[6]
-		a7 += v * brow[7]
-		a8 += v * brow[8]
-		a9 += v * brow[9]
-		a10 += v * brow[10]
-		a11 += v * brow[11]
-		a12 += v * brow[12]
-		a13 += v * brow[13]
-		a14 += v * brow[14]
-		a15 += v * brow[15]
-	}
-	crow := c.Data[k*c.Stride+r0:]
-	crow = crow[:16:16]
-	orow := out.Data[i*out.Stride+r0:]
-	orow = orow[:16:16]
-	orow[0] += a0 * crow[0]
-	orow[1] += a1 * crow[1]
-	orow[2] += a2 * crow[2]
-	orow[3] += a3 * crow[3]
-	orow[4] += a4 * crow[4]
-	orow[5] += a5 * crow[5]
-	orow[6] += a6 * crow[6]
-	orow[7] += a7 * crow[7]
-	orow[8] += a8 * crow[8]
-	orow[9] += a9 * crow[9]
-	orow[10] += a10 * crow[10]
-	orow[11] += a11 * crow[11]
-	orow[12] += a12 * crow[12]
-	orow[13] += a13 * crow[13]
-	orow[14] += a14 * crow[14]
-	orow[15] += a15 * crow[15]
-}
-
-// fiberTail processes one fiber for columns [r0, r1) where the width
-// is below RegisterBlockWidth, with a small stack accumulator.
-//
-//spblock:hotpath
-func fiberTail(t *tensor.CSF, b, c, out *la.Matrix, pLo, pHi, i, k, r0, r1 int) {
-	var acc [RegisterBlockWidth]float64
-	w := r1 - r0
-	for p := pLo; p < pHi; p++ {
-		v := t.Val[p]
-		brow := b.Data[int(t.NzJ[p])*b.Stride+r0:]
-		for q := 0; q < w; q++ {
-			acc[q] += v * brow[q]
-		}
-	}
-	crow := c.Data[k*c.Stride+r0:]
-	orow := out.Data[i*out.Stride+r0:]
-	for q := 0; q < w; q++ {
-		orow[q] += acc[q] * crow[q]
 	}
 }

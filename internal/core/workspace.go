@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"spblock/internal/analysis/check"
+	"spblock/internal/kernel"
 	"spblock/internal/la"
 	"spblock/internal/metrics"
 )
@@ -67,6 +68,11 @@ type workspace struct {
 	// the unpacked (ablation) strip drivers.
 	bPack, cPack, oPack *la.Matrix
 	bView, cView, oView la.Matrix
+
+	// kern is the register-block kernel variant for the effective strip
+	// width, resolved once per rank change (RankB / MB+RankB only). The
+	// hot paths dispatch through these cached function pointers.
+	kern kernel.Strip
 }
 
 // ensure sizes the rank-dependent buffers for rank r. No-op when the
@@ -96,7 +102,10 @@ func (e *Executor) ensure(r int) {
 		if check.Enabled {
 			check.Must("core.ensure", check.StripLadder(r, e.rankBlock(r)))
 		}
-		if bs := e.rankBlock(r); bs < r && !e.plan.NoStripPacking {
+		bs := e.rankBlock(r)
+		ws.kern = kernel.Resolve(bs)
+		e.met.SetKernel(ws.kern.Name)
+		if bs < r && !e.plan.NoStripPacking {
 			ws.bPack = la.NewMatrix(e.dims[1], bs)
 			ws.cPack = la.NewMatrix(e.dims[2], bs)
 			ws.oPack = la.NewMatrix(e.dims[0], bs)
@@ -211,7 +220,7 @@ func (e *Executor) initRunners() {
 				defer ws.wg.Done()
 				t0 := time.Now()
 				sh := ws.shares[w]
-				rankBRange(e.csf, ws.b, ws.c, ws.out, ws.bs, sh[0], sh[1])
+				rankBRange(e.csf, ws.b, ws.c, ws.out, &ws.kern, ws.bs, sh[0], sh[1])
 				e.met.AddWorkerTime(w, time.Since(t0))
 			})
 		}
@@ -234,7 +243,7 @@ func (e *Executor) initRunners() {
 						e.met.AddWorkerTime(w, time.Since(t0))
 						return
 					}
-					mbLayer(e.blocked, ws.b, ws.c, ws.out, ws.bs, int(bi), ws.accums[w][:ws.out.Cols])
+					mbLayer(e.blocked, ws.b, ws.c, ws.out, &ws.kern, ws.bs, int(bi), ws.accums[w][:ws.out.Cols])
 				}
 			})
 		}

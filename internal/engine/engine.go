@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"spblock/internal/core"
+	"spblock/internal/kernel"
 	"spblock/internal/la"
 	"spblock/internal/metrics"
 	"spblock/internal/tensor"
@@ -184,6 +185,16 @@ func (m *MultiModeExecutor) Metrics(n int) (*metrics.Collector, error) {
 		return nil, err
 	}
 	return e.Metrics(), nil
+}
+
+// Kernel reports the register-block kernel variant mode n's executor
+// dispatches through (see core.Executor.Kernel).
+func (m *MultiModeExecutor) Kernel(n int) (kernel.Variant, error) {
+	e, err := m.executor(n)
+	if err != nil {
+		return kernel.Variant{}, err
+	}
+	return e.Kernel(), nil
 }
 
 //spblock:coldpath

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"spblock/internal/core"
+	"spblock/internal/kernel"
 	"spblock/internal/la"
 	"spblock/internal/metrics"
 	"spblock/internal/nmode"
@@ -175,6 +176,22 @@ func (e *NEngine) Metrics(mode int) (*metrics.Collector, error) {
 		return nil, fmt.Errorf("engine: mode %d was not requested at construction", mode)
 	}
 	return e.execs[mode].Metrics(), nil
+}
+
+// Kernel reports the register-block kernel variant mode `mode`'s
+// executor dispatches through, whichever executor family serves it
+// (the zero Variant before that mode's first Run).
+func (e *NEngine) Kernel(mode int) (kernel.Variant, error) {
+	if mode < 0 || mode >= len(e.dims) {
+		return kernel.Variant{}, fmt.Errorf("engine: mode %d out of range [0,%d)", mode, len(e.dims))
+	}
+	if e.fast != nil {
+		return e.fast.Kernel(mode)
+	}
+	if e.execs[mode] == nil {
+		return kernel.Variant{}, fmt.Errorf("engine: mode %d was not requested at construction", mode)
+	}
+	return e.execs[mode].Kernel(), nil
 }
 
 // Order returns the number of modes.

@@ -1,0 +1,39 @@
+package kernel
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"testing"
+)
+
+// TestGeneratedKernelsInSync re-runs the width generator and compares
+// its output byte-for-byte against the committed widths_gen.go: a hand
+// edit to the generated file, or a generator change without
+// regeneration, fails here (and in CI's `go generate` + `git diff`
+// step) instead of silently drifting. Regenerate with:
+//
+//	go generate ./internal/kernel
+func TestGeneratedKernelsInSync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	cmd := exec.Command(goBin, "run", "./gen", "-stdout")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	got, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go run ./gen -stdout: %v\n%s", err, stderr.String())
+	}
+	want, err := os.ReadFile("widths_gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("widths_gen.go is out of sync with its generator; run `go generate ./internal/kernel`")
+	}
+}

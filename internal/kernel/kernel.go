@@ -1,0 +1,233 @@
+// Package kernel owns the register-blocked rank-strip accumulate
+// contract shared by the order-3 (internal/core) and order-N
+// (internal/nmode) MTTKRP inner loops: the innermost body of the
+// paper's Algorithm 2 (Sec. V-B), where a fiber's nonzeros are swept
+// with all column accumulators held in scalar locals (registers).
+//
+// The package exposes width-specialized unrolled bodies (8-, 16-, 24-
+// and 32-wide, emitted by the gen/ generator into widths_gen.go) plus
+// scalar tails, bundled per width into a Strip. Callers resolve a
+// Strip exactly once on their cold ensure path (Resolve) and dispatch
+// through the cached function pointers on the hot path — no interface
+// boxing, no map lookup, no per-call branching beyond the strip loop
+// itself. The contract deliberately takes raw slices (vals, ids)
+// rather than a tensor type so one kernel body serves both the CSF
+// fiber layout (core) and the N-mode leaf level (nmode):
+// tensor.Index and nmode.Index are both aliases of int32.
+package kernel
+
+import (
+	"slices"
+
+	"spblock/internal/la"
+)
+
+//go:generate go run ./gen -out widths_gen.go
+
+const (
+	// MinWidth is the narrowest unrolled body; widths below it run
+	// entirely in the scalar tail.
+	MinWidth = 8
+	// DefaultWidth is the paper's cache-line register block: 16 float64
+	// columns = 128 bytes (Sec. V-B). Strips wider than any registered
+	// width step at DefaultWidth.
+	DefaultWidth = 16
+	// MaxWidth bounds both the widest unrolled body and the scalar
+	// tails' stack accumulators (a tail is always narrower than the
+	// unrolled width it trails).
+	MaxWidth = 32
+)
+
+// FiberKernel processes one CSF fiber for Width consecutive columns
+// starting at r0, fusing Algorithm 2's fiber epilogue: the register
+// accumulators are scaled by C's row k and added into output row i.
+// vals/ids are the fiber's nonzero values and mode-2 coordinates,
+// indexed by [pLo, pHi).
+type FiberKernel func(vals []float64, ids []int32, b, c, out *la.Matrix, pLo, pHi, i, k, r0 int)
+
+// FiberTailKernel is FiberKernel for a partial block spanning columns
+// [r0, r1) with r1-r0 < MaxWidth.
+type FiberTailKernel func(vals []float64, ids []int32, b, c, out *la.Matrix, pLo, pHi, i, k, r0, r1 int)
+
+// LeafKernel accumulates Width consecutive columns (starting at q0) of
+// the N-mode leaf level into buf: buf[q] += vals[p] * leaf[ids[p]][q]
+// over p in [pLo, pHi). No epilogue — the tree walk scales buf against
+// the parent levels.
+type LeafKernel func(vals []float64, ids []int32, leaf *la.Matrix, buf []float64, pLo, pHi, q0 int)
+
+// LeafTailKernel is LeafKernel for a partial block spanning columns
+// [q0, q1) with q1-q0 < MaxWidth.
+type LeafTailKernel func(vals []float64, ids []int32, leaf *la.Matrix, buf []float64, pLo, pHi, q0, q1 int)
+
+// Variant identifies a registered kernel implementation.
+type Variant struct {
+	// Width is the unrolled register-block width in columns; 0 means
+	// the scalar variant (everything runs in the tail bodies).
+	Width int
+	// Name is the stable identifier recorded in metrics and BENCH
+	// output: "w8", "w16", "w24", "w32" or "scalar".
+	Name string
+}
+
+// Strip bundles the function pointers a resolved strip width dispatches
+// through: the unrolled fiber/leaf bodies plus the tails that finish
+// columns the unrolled width does not cover. Width 0 (scalar) leaves
+// Fiber/Leaf nil; callers must gate the unrolled step on Width > 0.
+type Strip struct {
+	Variant
+	Fiber     FiberKernel
+	Leaf      LeafKernel
+	FiberTail FiberTailKernel
+	LeafTail  LeafTailKernel
+}
+
+// scalarStrip serves widths below MinWidth entirely from the tails.
+var scalarStrip = Strip{
+	Variant:   Variant{Width: 0, Name: "scalar"},
+	FiberTail: ScalarFiberTail,
+	LeafTail:  ScalarLeafTail,
+}
+
+// Widths returns the registered unrolled widths in ascending order.
+func Widths() []int {
+	ws := make([]int, 0, len(specialized))
+	for _, s := range specialized {
+		ws = append(ws, s.Width)
+	}
+	slices.Sort(ws)
+	return ws
+}
+
+// Resolve maps a strip width (in columns) to the kernel variant that
+// executes it: an exact-width unrolled body when one is registered,
+// otherwise the widest registered body not exceeding
+// min(width, DefaultWidth) — so irregular wide strips step at the
+// paper's cache-line width and leave the remainder to the tail — and
+// the scalar variant when the width is below MinWidth. Called once per
+// rank change on the ensure path; the result is cached by the caller.
+//
+//spblock:coldpath
+func Resolve(width int) Strip {
+	if width < MinWidth {
+		return scalarStrip
+	}
+	best := scalarStrip
+	for _, s := range specialized {
+		if s.Width == width {
+			return s
+		}
+		if s.Width <= min(width, DefaultWidth) && s.Width > best.Width {
+			best = s
+		}
+	}
+	return best
+}
+
+// StripCandidates returns the RankBlockCols values worth measuring for
+// a tensor of the given rank: every multiple of MinWidth up to the
+// rank (each decomposes into registered unrolled widths with at most a
+// sub-MinWidth scalar tail) plus the rank itself — the unblocked
+// "whole rank as one strip" endpoint the Sec. V-C ladder must also
+// evaluate (a bs == rank strip is not the same plan as bs == 0 only
+// in name; both searches treat 0 separately). Ascending, deduplicated;
+// a rank below MinWidth yields just {rank}.
+//
+//spblock:coldpath
+func StripCandidates(rank int) []int {
+	if rank <= 0 {
+		return nil
+	}
+	if rank < MinWidth {
+		return []int{rank}
+	}
+	cands := make([]int, 0, rank/MinWidth+1)
+	for bs := MinWidth; bs < rank; bs += MinWidth {
+		cands = append(cands, bs)
+	}
+	return append(cands, rank)
+}
+
+// ScalarFiberTail finishes one fiber for columns [r0, r1) with
+// r1-r0 < MaxWidth, using a small stack accumulator. It is the tail of
+// every fiber variant and the whole body of the scalar variant.
+//
+//spblock:hotpath
+func ScalarFiberTail(vals []float64, ids []int32, b, c, out *la.Matrix, pLo, pHi, i, k, r0, r1 int) {
+	var acc [MaxWidth]float64
+	w := r1 - r0
+	for p := pLo; p < pHi; p++ {
+		v := vals[p]
+		brow := b.Data[int(ids[p])*b.Stride+r0:]
+		for q := 0; q < w; q++ {
+			acc[q] += v * brow[q]
+		}
+	}
+	crow := c.Data[k*c.Stride+r0:]
+	orow := out.Data[i*out.Stride+r0:]
+	for q := 0; q < w; q++ {
+		orow[q] += acc[q] * crow[q]
+	}
+}
+
+// ScalarLeafTail finishes one leaf accumulation for columns [q0, q1)
+// with q1-q0 < MaxWidth.
+//
+//spblock:hotpath
+func ScalarLeafTail(vals []float64, ids []int32, leaf *la.Matrix, buf []float64, pLo, pHi, q0, q1 int) {
+	var acc [MaxWidth]float64
+	w := q1 - q0
+	for p := pLo; p < pHi; p++ {
+		v := vals[p]
+		row := leaf.Data[int(ids[p])*leaf.Stride+q0:]
+		for q := 0; q < w; q++ {
+			acc[q] += v * row[q]
+		}
+	}
+	b := buf[q0:]
+	for q := 0; q < w; q++ {
+		b[q] += acc[q]
+	}
+}
+
+// Axpy accumulates acc[q] += v * row[q] over len(acc) columns — the
+// whole-rank fiber accumulate of Algorithm 1's inner loop. Small
+// enough to inline across packages.
+//
+//spblock:hotpath
+func Axpy(acc []float64, v float64, row []float64) {
+	for q, x := range row[:len(acc)] {
+		acc[q] += v * x
+	}
+}
+
+// ScaleAdd accumulates out[q] += acc[q] * scale[q] over len(out)
+// columns — the fiber epilogue (Algorithm 1) and the N-mode mid-level
+// combine.
+//
+//spblock:hotpath
+func ScaleAdd(out, acc, scale []float64) {
+	for q, a := range acc[:len(out)] {
+		out[q] += a * scale[q]
+	}
+}
+
+// KRPAxpy accumulates out[q] += v * brow[q] * crow[q] over len(out)
+// columns — the on-the-fly Khatri-Rao product of the COO baseline
+// (Sec. III-C1).
+//
+//spblock:hotpath
+func KRPAxpy(out []float64, v float64, brow, crow []float64) {
+	for q, bq := range brow[:len(out)] {
+		out[q] += v * bq * crow[q]
+	}
+}
+
+// Add accumulates dst[q] += src[q] over len(dst) columns — the
+// privatisation reduction and the N-mode root epilogue.
+//
+//spblock:hotpath
+func Add(dst, src []float64) {
+	for q, s := range src[:len(dst)] {
+		dst[q] += s
+	}
+}

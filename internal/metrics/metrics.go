@@ -94,6 +94,7 @@ func EqBytes(nnz, fibers int64, rank, strips int) int64 {
 // the pooled workspaces already impose).
 type Collector struct {
 	perRun PerRun
+	kernel string
 
 	runs     int64
 	totals   PerRun
@@ -114,6 +115,12 @@ func (c *Collector) SizeWorkers(n int) {
 // SetPerRun installs the precomputed per-Run counter deltas. Called on
 // the amortised resize path whenever the rank or strip width changes.
 func (c *Collector) SetPerRun(p PerRun) { c.perRun = p }
+
+// SetKernel records the register-block kernel variant the executor
+// resolved for its current rank (e.g. "w16"; see internal/kernel).
+// Called on the same amortised resize path as SetPerRun; empty means
+// the executor's method dispatches no rank-strip kernel.
+func (c *Collector) SetKernel(name string) { c.kernel = name }
 
 // EndRun closes out one executor Run that started at `start`: it adds
 // the precomputed counter deltas and the wall time. On the sequential
@@ -178,6 +185,10 @@ type Snapshot struct {
 	// WorkerNS holds each worker's accumulated busy time in
 	// nanoseconds; a single entry means the executor ran sequentially.
 	WorkerNS []int64 `json:"worker_ns,omitempty"`
+	// Kernel names the register-block kernel variant the executor
+	// dispatched through ("w8"/"w16"/"w24"/"w32"/"scalar"; see
+	// internal/kernel). Empty for methods without a rank-strip kernel.
+	Kernel string `json:"kernel,omitempty"`
 }
 
 // Snapshot copies the collector's state out. Cold path: it allocates
@@ -192,6 +203,7 @@ func (c *Collector) Snapshot() Snapshot {
 		BytesEst: c.totals.BytesEst,
 		WallNS:   c.runNS,
 		WorkerNS: append([]int64(nil), c.workerNS...),
+		Kernel:   c.kernel,
 	}
 }
 

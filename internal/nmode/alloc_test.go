@@ -17,6 +17,13 @@ func allocCases() []Options {
 		{Workers: 4},
 		{RankBlockCols: 16, Workers: 1},
 		{RankBlockCols: 16, Workers: 4},
+		// The remaining registered kernel widths plus a below-MinWidth
+		// strip (scalar tails): the walker's cached-kernel dispatch must
+		// stay allocation-free and correct for every registry entry.
+		{RankBlockCols: 8, Workers: 1},
+		{RankBlockCols: 24, Workers: 1},
+		{RankBlockCols: 32, Workers: 1},
+		{RankBlockCols: 4, Workers: 1},
 		{Grid: []int{2, 2, 1, 2}, Workers: 1},
 		{Grid: []int{2, 2, 1, 2}, Workers: 4},
 		{Grid: []int{2, 2, 1, 2}, RankBlockCols: 16, Workers: 1},

@@ -3,6 +3,7 @@ package nmode
 import (
 	"fmt"
 
+	"spblock/internal/kernel"
 	"spblock/internal/la"
 )
 
@@ -122,7 +123,11 @@ func (bt *BlockedTensor) MTTKRP(factors []*la.Matrix, out *la.Matrix, opts Optio
 	}
 	out.Zero()
 
-	wk := newWalkerBufs(n, r)
+	eff := r
+	if bs := opts.RankBlockCols; bs > 0 && bs < r {
+		eff = bs
+	}
+	wk := newWalkerBufs(n, r, kernel.Resolve(eff))
 	run := func(fs []*la.Matrix, o *la.Matrix) {
 		for _, blk := range bt.Blocks {
 			if blk == nil {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"spblock/internal/analysis/check"
+	"spblock/internal/kernel"
 	"spblock/internal/la"
 	"spblock/internal/metrics"
 )
@@ -97,6 +98,11 @@ func NewExecutor(t *Tensor, mode int, opts Options) (*Executor, error) {
 
 // Mode returns the output mode this executor serves.
 func (e *Executor) Mode() int { return e.mode }
+
+// Kernel reports the register-block kernel variant the executor's leaf
+// level dispatches through, resolved from the effective strip width on
+// the first Run at a given rank (the zero Variant before any Run).
+func (e *Executor) Kernel() kernel.Variant { return e.ws.kern.Variant }
 
 // Metrics returns the executor's instrumentation collector: per-Run
 // counters and per-worker time buckets, always collecting. Snapshot it

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"spblock/internal/kernel"
 	"spblock/internal/la"
 )
 
@@ -165,12 +166,20 @@ type walker struct {
 	out     *la.Matrix
 	bufs    [][]float64
 	width   int
+	// kern is the register-block kernel variant for the walker's
+	// effective strip width, resolved once on the owner's cold path
+	// (Executor.ensure or newWalker); node dispatches its leaf level
+	// through these cached function pointers.
+	kern kernel.Strip
 }
 
 // newWalkerBufs allocates the accumulators for an order-`order` tree at
-// up to `rank` columns; bind narrows the active width per use.
-func newWalkerBufs(order, rank int) *walker {
-	w := &walker{}
+// up to `rank` columns; bind narrows the active width per use. kern is
+// the variant resolved from the caller's effective strip width — taking
+// it here guarantees no construction path leaves the walker without
+// dispatchable leaf kernels.
+func newWalkerBufs(order, rank int, kern kernel.Strip) *walker {
+	w := &walker{kern: kern}
 	w.bufs = make([][]float64, order-1)
 	for d := range w.bufs {
 		w.bufs[d] = make([]float64, rank)
@@ -188,7 +197,7 @@ func (w *walker) bind(c *CSF, factors []*la.Matrix, out *la.Matrix) {
 }
 
 func newWalker(c *CSF, factors []*la.Matrix, out *la.Matrix) *walker {
-	w := newWalkerBufs(c.Order(), out.Cols)
+	w := newWalkerBufs(c.Order(), out.Cols, kernel.Resolve(out.Cols))
 	w.bind(c, factors, out)
 	return w //spblock:allow constructor hands a fresh walker to its one-shot caller
 }
@@ -197,11 +206,7 @@ func newWalker(c *CSF, factors []*la.Matrix, out *la.Matrix) *walker {
 func (w *walker) roots(lo, hi int) {
 	for root := lo; root < hi; root++ {
 		w.node(0, int32(root))
-		orow := w.out.Row(int(w.c.ID[0][root]))
-		buf := w.bufs[0]
-		for q := 0; q < w.width; q++ {
-			orow[q] += buf[q]
-		}
+		kernel.Add(w.out.Row(int(w.c.ID[0][root])), w.bufs[0])
 	}
 }
 
@@ -216,19 +221,20 @@ func (w *walker) node(d int, nd int32) {
 	n := c.Order()
 	if d == n-2 {
 		// Children are leaves: the fiber accumulation of Algorithm 1,
-		// register-blocked in 16-wide chunks.
+		// register-blocked through the resolved width-specialized kernel
+		// (the tail is always narrower than kernel.MaxWidth — see the
+		// rankBRange contract in internal/core).
 		leaf := w.factors[c.ModeOrder[n-1]]
-		pLo, pHi := c.Ptr[d][nd], c.Ptr[d][nd+1]
+		ids := c.ID[n-1]
+		pLo, pHi := int(c.Ptr[d][nd]), int(c.Ptr[d][nd+1])
 		q0 := 0
-		for ; q0+16 <= w.width; q0 += 16 {
-			leafAccum16(c, leaf, buf, int(pLo), int(pHi), q0)
-		}
-		for p := pLo; p < pHi; p++ {
-			v := c.Val[p]
-			row := leaf.Row(int(c.ID[n-1][p]))
-			for q := q0; q < w.width; q++ {
-				buf[q] += v * row[q]
+		if kw := w.kern.Width; kw > 0 {
+			for ; q0+kw <= w.width; q0 += kw {
+				w.kern.Leaf(c.Val, ids, leaf, buf, pLo, pHi, q0)
 			}
+		}
+		if q0 < w.width {
+			w.kern.LeafTail(c.Val, ids, leaf, buf, pLo, pHi, q0, w.width)
 		}
 		return
 	}
@@ -236,60 +242,6 @@ func (w *walker) node(d int, nd int32) {
 	child := w.bufs[d+1]
 	for ch := c.Ptr[d][nd]; ch < c.Ptr[d][nd+1]; ch++ {
 		w.node(d+1, ch)
-		row := mid.Row(int(c.ID[d+1][ch]))
-		for q := 0; q < w.width; q++ {
-			buf[q] += child[q] * row[q]
-		}
+		kernel.ScaleAdd(buf, child, mid.Row(int(c.ID[d+1][ch])))
 	}
-}
-
-// leafAccum16 accumulates 16 columns of the leaf level into buf with
-// scalar (register) accumulators.
-//
-//spblock:hotpath
-func leafAccum16(c *CSF, leaf *la.Matrix, buf []float64, pLo, pHi, q0 int) {
-	var a0, a1, a2, a3, a4, a5, a6, a7 float64
-	var a8, a9, a10, a11, a12, a13, a14, a15 float64
-	ld, ls := leaf.Data, leaf.Stride
-	n := c.Order()
-	ids := c.ID[n-1]
-	for p := pLo; p < pHi; p++ {
-		v := c.Val[p]
-		row := ld[int(ids[p])*ls+q0:]
-		row = row[:16:16]
-		a0 += v * row[0]
-		a1 += v * row[1]
-		a2 += v * row[2]
-		a3 += v * row[3]
-		a4 += v * row[4]
-		a5 += v * row[5]
-		a6 += v * row[6]
-		a7 += v * row[7]
-		a8 += v * row[8]
-		a9 += v * row[9]
-		a10 += v * row[10]
-		a11 += v * row[11]
-		a12 += v * row[12]
-		a13 += v * row[13]
-		a14 += v * row[14]
-		a15 += v * row[15]
-	}
-	b := buf[q0:]
-	b = b[:16:16]
-	b[0] += a0
-	b[1] += a1
-	b[2] += a2
-	b[3] += a3
-	b[4] += a4
-	b[5] += a5
-	b[6] += a6
-	b[7] += a7
-	b[8] += a8
-	b[9] += a9
-	b[10] += a10
-	b[11] += a11
-	b[12] += a12
-	b[13] += a13
-	b[14] += a14
-	b[15] += a15
 }

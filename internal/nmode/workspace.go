@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"spblock/internal/analysis/check"
+	"spblock/internal/kernel"
 	"spblock/internal/la"
 	"spblock/internal/metrics"
 )
@@ -59,6 +60,11 @@ type nworkspace struct {
 	pf     []*la.Matrix
 	oPack  *la.Matrix
 	oView  la.Matrix
+
+	// kern is the register-block kernel variant for the effective strip
+	// width, resolved once per rank change and copied into every pooled
+	// walker.
+	kern kernel.Strip
 }
 
 // ensure sizes the rank-dependent buffers for rank r. No-op when the
@@ -71,10 +77,19 @@ func (e *Executor) ensure(r int) {
 		return
 	}
 	ws.rank = r
+	// The effective strip width drives the kernel variant: packed
+	// strips are RankBlockCols wide, otherwise the whole rank is one
+	// strip (narrower final strips fall to the variant's scalar tail).
+	eff := r
+	if bs := e.opts.RankBlockCols; bs > 0 && bs < r {
+		eff = bs
+	}
+	ws.kern = kernel.Resolve(eff)
+	e.met.SetKernel(ws.kern.Name)
 	nw := max(len(ws.runners), 1)
 	ws.walkers = ws.walkers[:0]
 	for w := 0; w < nw; w++ {
-		ws.walkers = append(ws.walkers, newWalkerBufs(e.order, r))
+		ws.walkers = append(ws.walkers, newWalkerBufs(e.order, r, ws.kern))
 	}
 	if bs := e.opts.RankBlockCols; bs > 0 && bs < r {
 		if check.Enabled {

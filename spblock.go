@@ -31,6 +31,7 @@ import (
 	"spblock/internal/dist"
 	"spblock/internal/engine"
 	"spblock/internal/gen"
+	"spblock/internal/kernel"
 	"spblock/internal/la"
 	"spblock/internal/metrics"
 	"spblock/internal/mpi"
@@ -57,6 +58,10 @@ type (
 	Method = core.Method
 	// Executor owns preprocessed structures and runs MTTKRP repeatedly.
 	Executor = core.Executor
+	// KernelVariant identifies the width-specialized rank-strip kernel
+	// an executor resolved for its plan (Executor.Kernel,
+	// MultiExecutor.Kernel, MultiExecutorN.Kernel).
+	KernelVariant = kernel.Variant
 	// KernelMetrics is the always-on, allocation-free instrumentation
 	// collector every executor carries; reach it via Executor.Metrics,
 	// MultiExecutor.Metrics or MultiExecutorN.Metrics.
@@ -144,8 +149,22 @@ const (
 	MethodMBRankB = core.MethodMBRankB
 )
 
-// RegisterBlockWidth is the register-blocking width (16 float64 lanes).
+// RegisterBlockWidth is the default register-blocking width (16
+// float64 lanes); the kernel registry also carries wider and narrower
+// specializations — see KernelWidths.
 const RegisterBlockWidth = core.RegisterBlockWidth
+
+// KernelWidths lists the rank-strip widths with registered
+// register-block kernel specializations, ascending. Plans whose strip
+// width matches one of these run fully unrolled; other widths are
+// served by the widest registered kernel that fits plus a scalar tail.
+func KernelWidths() []int { return kernel.Widths() }
+
+// PlanKernel predicts the rank-strip kernel variant an executor for
+// plan resolves at the given rank (the zero variant for methods that
+// never register-block). Executors report the variant they actually
+// resolved via Executor.Kernel after the first Run.
+func PlanKernel(plan Plan, rank int) KernelVariant { return core.PlanKernel(plan, rank) }
 
 // NewTensor allocates an empty tensor with the given mode lengths.
 func NewTensor(dims Dims, capacity int) *Tensor { return tensor.NewCOO(dims, capacity) }
