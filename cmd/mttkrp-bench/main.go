@@ -13,12 +13,18 @@
 //	mttkrp-bench -dataset Poisson4 -rank 64
 //	mttkrp-bench -in tensor.tns -rank 64 -autotune -reps 5
 //
+// -sched runs every parallel plan under the named work-distribution
+// policy (static shares, chunked work stealing, or the adaptive
+// controller — see internal/sched); the BENCH record stores the
+// scheduler each executor actually resolved to, so an adaptive run
+// records whether the controller promoted.
+//
 // With -json the run also emits a versioned BENCH record (plan, best
 // ns/op, per-run counters from the kernel instrumentation layer, worker
-// load imbalance) for CI artifacts; -baseline compares the fresh record
-// against a committed one and fails when any shared plan regresses past
-// -maxregress. For comparable records across machines, pin the sweep
-// with -autotune=false.
+// load imbalance, resolved scheduler) for CI artifacts; -baseline
+// compares the fresh record against a committed one and fails when any
+// shared plan regresses past -maxregress. For comparable records across
+// machines, pin the sweep with -autotune=false.
 package main
 
 import (
@@ -46,6 +52,7 @@ func main() {
 		autotune   = flag.Bool("autotune", true, "tune MB/RankB block sizes (Sec. V-C heuristic)")
 		seed       = flag.Int64("seed", 42, "generator/factor seed")
 		widths     = flag.String("widths", "", `sweep rank-strip widths as extra RankB plans: comma-separated list, or "all" for every registered kernel width`)
+		schedFlag  = flag.String("sched", "static", "work-distribution policy for parallel plans: static|steal|adaptive")
 		jsonOut    = flag.String("json", "", "also write a versioned BENCH record to this path")
 		baseline   = flag.String("baseline", "", "compare against a committed BENCH record; exit 1 on regression")
 		maxregress = flag.Float64("maxregress", 2.0, "regression threshold for -baseline (ratio over baseline ns/op)")
@@ -64,15 +71,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	policy, err := spblock.ParseSchedPolicy(*schedFlag)
+	if err != nil {
+		fatal(err)
+	}
 	var rec *bench.Record
 	if nt.Order() == 3 {
 		x, err := tensor.FromNMode(nt)
 		if err != nil {
 			fatal(err)
 		}
-		rec = bench3(x, name, *rank, *reps, *workers, *autotune, *seed, sweep)
+		rec = bench3(x, name, *rank, *reps, *workers, *autotune, *seed, sweep, policy)
 	} else {
-		rec = benchN(nt, name, *rank, *reps, *workers, *seed, sweep)
+		rec = benchN(nt, name, *rank, *reps, *workers, *seed, sweep, policy)
 	}
 	if *jsonOut != "" {
 		if err := bench.WriteRecord(*jsonOut, rec); err != nil {
@@ -95,7 +106,7 @@ func main() {
 	}
 }
 
-func bench3(x *tensor.COO, name string, rank, reps, workers int, autotune bool, seed int64, sweep []int) *bench.Record {
+func bench3(x *tensor.COO, name string, rank, reps, workers int, autotune bool, seed int64, sweep []int, policy spblock.SchedPolicy) *bench.Record {
 	stats := spblock.ComputeStats(x)
 	profile, err := tensor.ProfileTensor(x)
 	if err != nil {
@@ -107,10 +118,10 @@ func bench3(x *tensor.COO, name string, rank, reps, workers int, autotune bool, 
 
 	plans := []spblock.Plan{
 		{Method: spblock.MethodCOO},
-		{Method: spblock.MethodSPLATT, Workers: workers},
-		{Method: spblock.MethodMB, Grid: [3]int{1, 2, 1}, Workers: workers},
-		{Method: spblock.MethodRankB, RankBlockCols: min(64, rank), Workers: workers},
-		{Method: spblock.MethodMBRankB, Grid: [3]int{1, 2, 1}, RankBlockCols: min(64, rank), Workers: workers},
+		{Method: spblock.MethodSPLATT, Workers: workers, Sched: policy},
+		{Method: spblock.MethodMB, Grid: [3]int{1, 2, 1}, Workers: workers, Sched: policy},
+		{Method: spblock.MethodRankB, RankBlockCols: min(64, rank), Workers: workers, Sched: policy},
+		{Method: spblock.MethodMBRankB, Grid: [3]int{1, 2, 1}, RankBlockCols: min(64, rank), Workers: workers, Sched: policy},
 	}
 	if autotune {
 		opts := spblock.AutotuneOptions{Trials: 1, Seed: seed, Workers: workers}
@@ -124,6 +135,7 @@ func bench3(x *tensor.COO, name string, rank, reps, workers int, autotune bool, 
 			}
 			plans[i] = tuned
 			plans[i].Workers = workers
+			plans[i].Sched = policy
 		}
 	}
 
@@ -155,6 +167,7 @@ func bench3(x *tensor.COO, name string, rank, reps, workers int, autotune bool, 
 		entry := bench.RecordEntry{
 			Plan:      plan.String(),
 			Kernel:    snap.Kernel,
+			Sched:     snap.Sched,
 			BestNS:    int64(sec * 1e9),
 			GFLOPS:    gf,
 			Imbalance: snap.Imbalance(),
@@ -180,7 +193,7 @@ func bench3(x *tensor.COO, name string, rank, reps, workers int, autotune bool, 
 		fmt.Printf("\nrank-strip width sweep (rankb):\n")
 		fmt.Printf("%-10s %-8s %14s %9s\n", "width", "kernel", "ns/run", "GFLOP/s")
 		for _, w := range sweep {
-			e := run(spblock.Plan{Method: spblock.MethodRankB, RankBlockCols: w, Workers: workers})
+			e := run(spblock.Plan{Method: spblock.MethodRankB, RankBlockCols: w, Workers: workers, Sched: policy})
 			fmt.Printf("%-10d %-8s %14d %9.2f\n", w, kernelLabel(e.Kernel), e.BestNS, e.GFLOPS)
 		}
 	}
@@ -233,7 +246,7 @@ func parseWidths(s string, rank int) ([]int, error) {
 // benchN times the unified order-N engine's configuration ladder on a
 // higher-order tensor: plain CSF, rank strips, a multi-dimensional
 // block grid, and the combination — each a pooled mode-0 executor.
-func benchN(t *nmode.Tensor, name string, rank, reps, workers int, seed int64, sweep []int) *bench.Record {
+func benchN(t *nmode.Tensor, name string, rank, reps, workers int, seed int64, sweep []int, policy spblock.SchedPolicy) *bench.Record {
 	n := t.Order()
 	fmt.Printf("tensor: %v nnz=%d (order %d)\n", t.Dims, t.NNZ(), n)
 	fmt.Printf("rank:   %d\n\n", rank)
@@ -256,16 +269,23 @@ func benchN(t *nmode.Tensor, name string, rank, reps, workers int, seed int64, s
 		name string
 		opts spblock.OptionsN
 	}{
-		{"csf-n", spblock.OptionsN{Workers: workers}},
-		{"csf-n+rankb", spblock.OptionsN{RankBlockCols: min(64, rank), Workers: workers}},
-		{"csf-n+mb", spblock.OptionsN{Grid: grid, Workers: workers}},
-		{"csf-n+mb+rankb", spblock.OptionsN{Grid: grid, RankBlockCols: min(64, rank), Workers: workers}},
+		{"csf-n", spblock.OptionsN{Workers: workers, Sched: policy}},
+		{"csf-n+rankb", spblock.OptionsN{RankBlockCols: min(64, rank), Workers: workers, Sched: policy}},
+		{"csf-n+mb", spblock.OptionsN{Grid: grid, Workers: workers, Sched: policy}},
+		{"csf-n+mb+rankb", spblock.OptionsN{Grid: grid, RankBlockCols: min(64, rank), Workers: workers, Sched: policy}},
 	}
 	for _, w := range sweep {
 		rows = append(rows, struct {
 			name string
 			opts spblock.OptionsN
-		}{fmt.Sprintf("csf-n+rankb[bs=%d]", w), spblock.OptionsN{RankBlockCols: w, Workers: workers}})
+		}{fmt.Sprintf("csf-n+rankb[bs=%d]", w), spblock.OptionsN{RankBlockCols: w, Workers: workers, Sched: policy}})
+	}
+	// Like Plan.String, keep the historical names for the static policy
+	// (the committed baselines' comparison keys) and qualify the rest.
+	if policy != spblock.SchedStatic {
+		for i := range rows {
+			rows[i].name += " sched=" + policy.String()
+		}
 	}
 
 	factors := make([]*spblock.Matrix, n)
@@ -306,6 +326,7 @@ func benchN(t *nmode.Tensor, name string, rank, reps, workers int, seed int64, s
 		entry := bench.RecordEntry{
 			Plan:      row.name,
 			Kernel:    snap.Kernel,
+			Sched:     snap.Sched,
 			BestNS:    int64(sec * 1e9),
 			GFLOPS:    gf,
 			Imbalance: snap.Imbalance(),

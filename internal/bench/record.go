@@ -14,11 +14,13 @@ import (
 // instead of silently comparing incompatible quantities.
 //
 // v2 added the per-entry kernel variant (RecordEntry.Kernel) and the
-// -widths sweep entries. v1 records are still loadable: every v1 field
-// kept its meaning, v2 only added optional fields, so comparisons
-// against a v1 baseline remain valid (v1 entries simply carry no
-// kernel name).
-const RecordSchemaVersion = 2
+// -widths sweep entries. v3 added the resolved scheduler identity
+// (RecordEntry.Sched, plus the sched / worker_steals counters inside
+// the metrics snapshot). v1 and v2 records are still loadable: every
+// older field kept its meaning and each bump only added optional
+// fields, so comparisons against an older baseline remain valid (old
+// entries simply carry no kernel or scheduler name).
+const RecordSchemaVersion = 3
 
 // minReadableSchema is the oldest schema LoadRecord still accepts.
 const minReadableSchema = 1
@@ -56,6 +58,12 @@ type RecordEntry struct {
 	// plan dispatched through (e.g. "w16"; empty for plans that never
 	// resolve one, and in schema-1 records). Schema 2.
 	Kernel string `json:"kernel,omitempty"`
+	// Sched names the resolved scheduler the plan's executor ran
+	// (internal/sched: "static", "steal", "adaptive:static",
+	// "adaptive:steal"; empty for sequential plans and in pre-v3
+	// records). An adaptive plan records the layout it ended the timed
+	// window on. Schema 3.
+	Sched string `json:"sched,omitempty"`
 	// BestNS is the fastest repetition's wall time in nanoseconds.
 	BestNS int64 `json:"best_ns"`
 	// GFLOPS is the Equation 2 throughput at BestNS.

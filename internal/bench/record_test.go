@@ -44,6 +44,21 @@ func testRecord() *Record {
 				Kernel: "w16",
 			},
 		},
+		{
+			Plan:      "SPLATT sched=steal",
+			Sched:     "steal",
+			BestNS:    87654,
+			GFLOPS:    2.1,
+			Speedup:   1.41,
+			Imbalance: 1.05,
+			Counters: metrics.Snapshot{
+				Runs: 3, NNZ: 15000, Fibers: 3000, Strips: 0,
+				BytesEst: 2400000, WallNS: 262962,
+				WorkerNS:     []int64{131481, 131481},
+				Sched:        "steal",
+				WorkerSteals: []int64{0, 7},
+			},
+		},
 	}
 	return r
 }
@@ -111,36 +126,43 @@ func TestRecordGolden(t *testing.T) {
 	if err := json.Unmarshal(got, &top); err != nil {
 		t.Fatal(err)
 	}
-	if string(top["schema"]) != "2" {
-		t.Fatalf(`"schema" field = %s, want 2`, top["schema"])
+	if string(top["schema"]) != "3" {
+		t.Fatalf(`"schema" field = %s, want 3`, top["schema"])
 	}
 }
 
-// TestLoadRecordAcceptsSchema1 pins backwards compatibility: the
-// committed results/BENCH_seed.json baseline predates the kernel
-// fields and must keep loading (its entries just carry no kernel
-// name).
-func TestLoadRecordAcceptsSchema1(t *testing.T) {
-	rec := testRecord()
-	rec.Schema = 1
-	for i := range rec.Entries {
-		rec.Entries[i].Kernel = ""
-		rec.Entries[i].Counters.Kernel = ""
-	}
-	path := filepath.Join(t.TempDir(), "BENCH_v1.json")
-	if err := WriteRecord(path, rec); err != nil {
-		t.Fatal(err)
-	}
-	back, err := LoadRecord(path)
-	if err != nil {
-		t.Fatalf("schema-1 record rejected: %v", err)
-	}
-	if back.Schema != 1 {
-		t.Fatalf("schema mangled: %d", back.Schema)
-	}
-	// A v1 baseline still compares cleanly against a v2 run.
-	if regs := CompareRecords(back, testRecord(), 2.0); len(regs) != 0 {
-		t.Fatalf("v1 baseline vs v2 run flagged: %v", regs)
+// TestLoadRecordAcceptsOldSchemas pins backwards compatibility: the
+// committed results/BENCH_seed.json baseline predates the kernel and
+// scheduler fields and must keep loading (its entries just carry no
+// kernel or scheduler name).
+func TestLoadRecordAcceptsOldSchemas(t *testing.T) {
+	for _, schema := range []int{1, 2} {
+		rec := testRecord()
+		rec.Schema = schema
+		for i := range rec.Entries {
+			rec.Entries[i].Sched = ""
+			rec.Entries[i].Counters.Sched = ""
+			rec.Entries[i].Counters.WorkerSteals = nil
+			if schema < 2 {
+				rec.Entries[i].Kernel = ""
+				rec.Entries[i].Counters.Kernel = ""
+			}
+		}
+		path := filepath.Join(t.TempDir(), "BENCH_old.json")
+		if err := WriteRecord(path, rec); err != nil {
+			t.Fatal(err)
+		}
+		back, err := LoadRecord(path)
+		if err != nil {
+			t.Fatalf("schema-%d record rejected: %v", schema, err)
+		}
+		if back.Schema != schema {
+			t.Fatalf("schema mangled: %d", back.Schema)
+		}
+		// An old baseline still compares cleanly against a v3 run.
+		if regs := CompareRecords(back, testRecord(), 2.0); len(regs) != 0 {
+			t.Fatalf("v%d baseline vs v3 run flagged: %v", schema, regs)
+		}
 	}
 }
 

@@ -4,7 +4,9 @@ import (
 	"math/rand"
 	"testing"
 
+	"spblock/internal/kernel"
 	"spblock/internal/la"
+	"spblock/internal/sched"
 	"spblock/internal/tensor"
 	"spblock/internal/testutil/raceflag"
 )
@@ -47,6 +49,19 @@ func TestRunSteadyStateAllocations(t *testing.T) {
 		{Method: MethodMB, Grid: [3]int{4, 2, 2}, Workers: 4},
 		{Method: MethodMBRankB, Grid: [3]int{4, 2, 2}, RankBlockCols: 16, Workers: 1},
 		{Method: MethodMBRankB, Grid: [3]int{4, 2, 2}, RankBlockCols: 16, Workers: 4},
+		// The stealing and adaptive paths must hold the same zero-alloc
+		// contract: the chunk claims are atomic ops over layouts prebuilt
+		// in the cold half, and adaptive promotion is a flag flip.
+		{Method: MethodSPLATT, Workers: 4, Sched: sched.PolicySteal},
+		{Method: MethodSPLATT, Workers: 4, Sched: sched.PolicyAdaptive},
+		{Method: MethodMB, Grid: [3]int{4, 2, 2}, Workers: 4, Sched: sched.PolicySteal},
+		{Method: MethodMBRankB, Grid: [3]int{4, 2, 2}, RankBlockCols: 16, Workers: 4, Sched: sched.PolicySteal},
+		{Method: MethodCOO, Workers: 4, Sched: sched.PolicyAdaptive}, // resolves static, must stay clean
+	}
+	// Every registered kernel width rides the stealing queue through the
+	// width-specialised rank-strip dispatch.
+	for _, w := range kernel.Widths() {
+		plans = append(plans, Plan{Method: MethodRankB, RankBlockCols: w, Workers: 4, Sched: sched.PolicySteal})
 	}
 	for _, plan := range plans {
 		e, err := NewExecutor(x, plan)
@@ -86,6 +101,47 @@ func TestRunSteadyStateAllocations(t *testing.T) {
 		if workerNS <= 0 {
 			t.Errorf("%v: no worker time recorded: %v", plan, snap.WorkerNS)
 		}
+	}
+}
+
+// TestPromotedAdaptiveAllocationFree pins the adaptive path's second
+// half: after the controller's promotion flips the queue to the
+// stealing layout, steady-state Runs (now claiming and stealing
+// chunks, counting steals, and feeding the quiescent controller) must
+// still never touch the heap.
+func TestPromotedAdaptiveAllocationFree(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; AllocsPerRun is meaningless under -race")
+	}
+	rng := rand.New(rand.NewSource(3))
+	dims := tensor.Dims{32, 48, 24}
+	x := randCOO(rng, dims, 4000)
+	const rank = 32
+	b := randMatrix(rng, dims[1], rank)
+	c := randMatrix(rng, dims[2], rank)
+	out := la.NewMatrix(dims[0], rank)
+	e, err := NewExecutor(x, Plan{Method: MethodSPLATT, Workers: 4, Sched: sched.PolicyAdaptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := e.Run(b, c, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Promote exactly the way observe() does.
+	e.ws.q.SetStealing(true)
+	e.met.SetSched(sched.AdaptiveStealName)
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := e.Run(b, c, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("promoted adaptive: %.2f allocs per steady-state Run, want 0", allocs)
+	}
+	if !e.ws.q.Stealing() {
+		t.Fatal("promotion did not stick")
 	}
 }
 

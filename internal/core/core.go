@@ -23,6 +23,7 @@ import (
 	"spblock/internal/kernel"
 	"spblock/internal/la"
 	"spblock/internal/metrics"
+	"spblock/internal/sched"
 	"spblock/internal/tensor"
 )
 
@@ -87,6 +88,15 @@ type Plan struct {
 	// Workers is the parallelism degree; 0 means GOMAXPROCS. Negative
 	// values are rejected by NewExecutor.
 	Workers int
+	// Sched selects the work-distribution policy (internal/sched): the
+	// zero value is the static layout-driven split the paper assumes,
+	// PolicySteal carves chunked work-stealing deques, PolicyAdaptive
+	// starts static and promotes to stealing when the measured worker
+	// imbalance holds above the controller threshold. MethodCOO always
+	// runs static: its privatised outputs are reduced in worker order,
+	// so a dynamic chunk→worker assignment would perturb the
+	// floating-point reduction order.
+	Sched sched.Policy
 }
 
 func (p Plan) String() string {
@@ -96,6 +106,11 @@ func (p Plan) String() string {
 	}
 	if p.Method == MethodRankB || p.Method == MethodMBRankB {
 		s += fmt.Sprintf(" bs=%d", p.RankBlockCols)
+	}
+	// Static is the historical default and stays unspelled so existing
+	// BENCH baselines (keyed by plan string) keep matching.
+	if p.Sched != sched.PolicyStatic {
+		s += " sched=" + p.Sched.String()
 	}
 	return s
 }
@@ -148,6 +163,13 @@ type Executor struct {
 
 	ws  workspace
 	met metrics.Collector
+
+	// ctrl is the adaptive policy's promotion loop, nil for static and
+	// steal plans (and for executors that resolved to sequential runs).
+	// prevNS is its per-worker busy-time window baseline, pre-sized on
+	// the cold path so the per-Run observation is allocation-free.
+	ctrl   *sched.Controller
+	prevNS []int64
 }
 
 // NewExecutor preprocesses t according to plan. The input tensor is
@@ -158,6 +180,9 @@ func NewExecutor(t *tensor.COO, plan Plan) (*Executor, error) {
 	}
 	if plan.Workers < 0 {
 		return nil, fmt.Errorf("core: negative Workers %d", plan.Workers)
+	}
+	if !plan.Sched.Valid() {
+		return nil, fmt.Errorf("core: unknown sched policy %d", plan.Sched)
 	}
 	e := &Executor{plan: plan, dims: t.Dims}
 	switch plan.Method {
@@ -193,7 +218,32 @@ func NewExecutor(t *tensor.COO, plan Plan) (*Executor, error) {
 	}
 	e.initRunners()
 	e.met.SizeWorkers(len(e.ws.runners))
+	e.initSched()
 	return e, nil
+}
+
+// initSched applies the plan's scheduling policy to the queue the
+// runners were built around and, for the adaptive policy, constructs
+// the controller and its window baseline.
+//
+//spblock:coldpath
+func (e *Executor) initSched() {
+	if len(e.ws.runners) == 0 {
+		return
+	}
+	switch {
+	case e.plan.Sched == sched.PolicySteal && e.ws.q.CanSteal():
+		e.ws.q.SetStealing(true)
+		e.met.SetSched(sched.StealName)
+	case e.plan.Sched == sched.PolicyAdaptive && e.ws.q.CanSteal():
+		e.ctrl = sched.NewController(sched.ControllerConfig{})
+		e.prevNS = make([]int64, len(e.ws.runners))
+		e.met.SetSched(sched.AdaptiveStaticName)
+	default:
+		// Static plans, and non-static plans on a method that never
+		// builds a stealing layout (COO's ordered reduction).
+		e.met.SetSched(sched.StaticName)
+	}
 }
 
 // Plan returns the executor's plan.
@@ -205,6 +255,13 @@ func (e *Executor) Plan() Plan { return e.plan }
 // Variant; methods without rank blocking (COO, SPLATT, MB) never
 // resolve one.
 func (e *Executor) Kernel() kernel.Variant { return e.ws.kern.Variant }
+
+// Sched reports the resolved scheduler identity (the internal/sched
+// name constants): what the executor is actually running, not just
+// what the plan asked for — an adaptive executor reports
+// "adaptive:static" until its controller promotes it. Empty for
+// sequential executors.
+func (e *Executor) Sched() string { return e.met.Sched() }
 
 // Metrics returns the executor's instrumentation collector: per-Run
 // counters and per-worker time buckets, always collecting. Snapshot it
@@ -244,7 +301,25 @@ func (e *Executor) Run(b, c, out *la.Matrix) error {
 		e.runMB(b, c, out, 0)
 	}
 	e.met.EndRun(start)
+	e.observe()
 	return nil
+}
+
+// observe feeds the adaptive controller this run's worker-imbalance
+// window and flips the queue to the stealing layout when the
+// controller's ratchet fires. The workers are quiescent here (launch
+// joined them), both layouts were prebuilt, and the scheduler names
+// are constants, so promotion stays on the allocation-free hot path.
+//
+//spblock:hotpath
+func (e *Executor) observe() {
+	if e.ctrl == nil {
+		return
+	}
+	if e.ctrl.Observe(e.met.WindowImbalance(e.prevNS)) {
+		e.ws.q.SetStealing(true)
+		e.met.SetSched(sched.AdaptiveStealName)
+	}
 }
 
 // runCOO executes the coordinate kernel, privatising the output per
@@ -286,7 +361,6 @@ func (e *Executor) runMB(b, c, out *la.Matrix, bs int) {
 		return
 	}
 	ws.publish(b, c, out, bs)
-	ws.nextLayer.Store(0)
 	ws.launch()
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"spblock/internal/la"
+	"spblock/internal/sched"
 	"spblock/internal/tensor"
 )
 
@@ -235,6 +236,9 @@ func TestMethodAndPlanStrings(t *testing.T) {
 	}
 }
 
+// TestSliceShares covers the slice partition the executors now obtain
+// through sched.Shares with the CSF nnz-cumulative weight function —
+// the same invariants the old in-package sliceShares guaranteed.
 func TestSliceShares(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	x := randCOO(rng, tensor.Dims{50, 20, 20}, 2000)
@@ -242,8 +246,11 @@ func TestSliceShares(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cumOf := func(c *tensor.CSF) func(int) int64 {
+		return func(i int) int64 { return int64(c.FiberPtr[c.SlicePtr[i+1]]) }
+	}
 	for _, workers := range []int{1, 2, 3, 7, 100} {
-		shares := sliceShares(csf, workers)
+		shares := sched.Shares(csf.NumSlices(), workers, cumOf(csf))
 		if len(shares) == 0 {
 			t.Fatal("no shares")
 		}
@@ -267,7 +274,7 @@ func TestSliceShares(t *testing.T) {
 	}
 	// Empty tensor: no shares.
 	emptyCSF, _ := tensor.BuildCSF(tensor.NewCOO(tensor.Dims{3, 3, 3}, 0))
-	if s := sliceShares(emptyCSF, 4); s != nil {
+	if s := sched.Shares(emptyCSF.NumSlices(), 4, cumOf(emptyCSF)); s != nil {
 		t.Fatalf("empty tensor shares = %v", s)
 	}
 }

@@ -71,50 +71,6 @@ func splattRange(t *tensor.CSF, b, c, out *la.Matrix, accum []float64, lo, hi in
 	}
 }
 
-// sliceShares partitions slices [0, n) into at most workers contiguous
-// ranges with approximately balanced nonzero counts, using the CSF
-// pointer arrays. Distinct slices own distinct output rows, so ranges
-// can run concurrently without synchronisation (this is SPLATT's own
-// parallelisation strategy).
-func sliceShares(t *tensor.CSF, workers int) [][2]int {
-	n := t.NumSlices()
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		if n == 0 {
-			return nil
-		}
-		return [][2]int{{0, n}}
-	}
-	nnz := t.NNZ()
-	shares := make([][2]int, 0, workers)
-	target := nnz / workers
-	lo := 0
-	for w := 0; w < workers && lo < n; w++ {
-		if w == workers-1 {
-			shares = append(shares, [2]int{lo, n})
-			break
-		}
-		// Advance hi until this share holds ~target nonzeros.
-		hi := lo
-		startNNZ := int(t.FiberPtr[t.SlicePtr[lo]])
-		for hi < n {
-			hi++
-			done := int(t.FiberPtr[t.SlicePtr[hi]]) - startNNZ
-			if done >= target {
-				break
-			}
-		}
-		shares = append(shares, [2]int{lo, hi})
-		lo = hi
-	}
-	return shares
-}
-
 // rankBRange is Algorithm 2 over slices [lo, hi): the rank is swept in
 // strips of bs columns (the outer `while rr < R` loop), and within a
 // strip each fiber is processed in kern.Width-wide register blocks

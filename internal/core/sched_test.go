@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"spblock/internal/gen"
+	"spblock/internal/la"
+	"spblock/internal/sched"
+	"spblock/internal/tensor"
+)
+
+// schedTestTensors returns the equivalence corpus: a mostly-uniform
+// Poisson tensor and a clustered tensor whose dense sub-boxes skew the
+// per-slice nonzero counts — the case work stealing exists for.
+func schedTestTensors(t *testing.T) map[string]*tensor.COO {
+	t.Helper()
+	pois, err := gen.Poisson(gen.PoissonParams{Dims: tensor.Dims{40, 30, 25}, Events: 6000}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clus, err := gen.Clustered(gen.ClusteredParams{
+		Dims: tensor.Dims{40, 30, 25}, NNZ: 6000, Clusters: 3, ClusterFrac: 0.9,
+	}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*tensor.COO{"poisson": pois, "clustered": clus}
+}
+
+func bitIdentical(a, b *la.Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, v := range a.Data {
+		if v != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSchedulerEquivalence is the cross-scheduler matrix: for every
+// tree-based method, the stealing and adaptive schedulers must produce
+// outputs bit-identical to the static scheduler. This is not a
+// tolerance check — distinct slices/layers own disjoint output rows
+// and each unit's computation is self-contained, so reassigning a
+// chunk to a different worker must not move a single bit. Run under
+// -race in CI, this also exercises the steal claim protocol against
+// the kernel bodies.
+func TestSchedulerEquivalence(t *testing.T) {
+	const rank = 19 // deliberately not a multiple of any kernel width
+	methods := []Plan{
+		{Method: MethodSPLATT},
+		{Method: MethodRankB, RankBlockCols: 8},
+		{Method: MethodMB, Grid: [3]int{6, 2, 2}},
+		{Method: MethodMBRankB, Grid: [3]int{6, 2, 2}, RankBlockCols: 8},
+	}
+	for name, x := range schedTestTensors(t) {
+		rng := rand.New(rand.NewSource(99))
+		b := randMatrix(rng, x.Dims[1], rank)
+		c := randMatrix(rng, x.Dims[2], rank)
+		for _, base := range methods {
+			base.Workers = 4
+			ref := la.NewMatrix(x.Dims[0], rank)
+			refExec, err := NewExecutor(x, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := refExec.Run(b, c, ref); err != nil {
+				t.Fatal(err)
+			}
+			for _, pol := range []sched.Policy{sched.PolicySteal, sched.PolicyAdaptive} {
+				plan := base
+				plan.Sched = pol
+				e, err := NewExecutor(x, plan)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := la.NewMatrix(x.Dims[0], rank)
+				for run := 0; run < 4; run++ {
+					if err := e.Run(b, c, got); err != nil {
+						t.Fatal(err)
+					}
+					if !bitIdentical(got, ref) {
+						t.Fatalf("%s %v run %d: output differs from static", name, plan, run)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptivePromotionBitIdentical drives the adaptive executor
+// through its actual promotion transition (forcing the queue flip the
+// controller would perform) and checks the run after promotion is
+// still bit-identical — the equivalence matrix above may never promote
+// on a fast test tensor, so the transition itself is pinned here.
+func TestAdaptivePromotionBitIdentical(t *testing.T) {
+	x := schedTestTensors(t)["clustered"]
+	const rank = 16
+	rng := rand.New(rand.NewSource(5))
+	b := randMatrix(rng, x.Dims[1], rank)
+	c := randMatrix(rng, x.Dims[2], rank)
+	ref := la.NewMatrix(x.Dims[0], rank)
+	if err := MTTKRP(x, b, c, ref, Plan{Method: MethodSPLATT, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := NewExecutor(x, Plan{Method: MethodSPLATT, Workers: 4, Sched: sched.PolicyAdaptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ctrl == nil {
+		t.Fatal("adaptive plan built no controller")
+	}
+	if e.Sched() != sched.AdaptiveStaticName {
+		t.Fatalf("pre-promotion sched = %q", e.Sched())
+	}
+	got := la.NewMatrix(x.Dims[0], rank)
+	if err := e.Run(b, c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bitIdentical(got, ref) {
+		t.Fatal("pre-promotion output differs")
+	}
+
+	// Promote the way observe() would: flip the prebuilt layout.
+	e.ws.q.SetStealing(true)
+	e.met.SetSched(sched.AdaptiveStealName)
+	for run := 0; run < 3; run++ {
+		if err := e.Run(b, c, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bitIdentical(got, ref) {
+			t.Fatalf("post-promotion run %d differs", run)
+		}
+	}
+	if e.Sched() != sched.AdaptiveStealName {
+		t.Fatalf("post-promotion sched = %q", e.Sched())
+	}
+}
+
+// TestCOONeverSteals: COO's privatised reduction is order-sensitive,
+// so even an explicit steal/adaptive plan must resolve to the static
+// layout (and stay bit-identical to the static plan's output).
+func TestCOONeverSteals(t *testing.T) {
+	x := schedTestTensors(t)["clustered"]
+	const rank = 8
+	rng := rand.New(rand.NewSource(6))
+	b := randMatrix(rng, x.Dims[1], rank)
+	c := randMatrix(rng, x.Dims[2], rank)
+	ref := la.NewMatrix(x.Dims[0], rank)
+	if err := MTTKRP(x, b, c, ref, Plan{Method: MethodCOO, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []sched.Policy{sched.PolicySteal, sched.PolicyAdaptive} {
+		e, err := NewExecutor(x, Plan{Method: MethodCOO, Workers: 4, Sched: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.ws.q.Stealing() || e.ws.q.CanSteal() || e.ctrl != nil {
+			t.Fatalf("%v: COO executor built a stealing path", pol)
+		}
+		if e.Sched() != sched.StaticName {
+			t.Fatalf("%v: COO resolved sched = %q, want static", pol, e.Sched())
+		}
+		got := la.NewMatrix(x.Dims[0], rank)
+		if err := e.Run(b, c, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bitIdentical(got, ref) {
+			t.Fatalf("%v: COO output differs from static plan", pol)
+		}
+	}
+}
+
+// TestInvalidSchedRejected: an out-of-range policy is a caller bug.
+func TestInvalidSchedRejected(t *testing.T) {
+	x := tensor.NewCOO(tensor.Dims{4, 4, 4}, 0)
+	x.Append(1, 1, 1, 1)
+	if _, err := NewExecutor(x, Plan{Method: MethodSPLATT, Sched: sched.Policy(9)}); err == nil {
+		t.Fatal("NewExecutor accepted an unknown sched policy")
+	}
+}
+
+// TestPlanStringSchedSuffix: the plan string is the BENCH baseline
+// comparison key, so static plans must render exactly as before and
+// non-static plans must be distinguishable.
+func TestPlanStringSchedSuffix(t *testing.T) {
+	p := Plan{Method: MethodSPLATT}
+	if got := p.String(); got != "SPLATT" {
+		t.Fatalf("static plan string = %q, want unchanged %q", got, "SPLATT")
+	}
+	p.Sched = sched.PolicySteal
+	if got := p.String(); got != "SPLATT sched=steal" {
+		t.Fatalf("steal plan string = %q", got)
+	}
+	p.Sched = sched.PolicyAdaptive
+	if got := p.String(); got != "SPLATT sched=adaptive" {
+		t.Fatalf("adaptive plan string = %q", got)
+	}
+}

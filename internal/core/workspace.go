@@ -2,13 +2,13 @@ package core
 
 import (
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"spblock/internal/analysis/check"
 	"spblock/internal/kernel"
 	"spblock/internal/la"
 	"spblock/internal/metrics"
+	"spblock/internal/sched"
 )
 
 // workspace owns every buffer an Executor's kernels touch besides the
@@ -19,7 +19,7 @@ import (
 // thrashes the allocator and adds GC noise to every measurement the
 // autotuner takes.
 //
-// The worker-count-dependent state (slice shares, nonzero ranges, the
+// The worker-count-dependent state (the sched.Queue layouts and the
 // worker closures themselves) is built once in NewExecutor; the
 // rank-dependent buffers are sized lazily on the first Run and rebuilt
 // only when the rank changes. Because the workspace is mutated by Run,
@@ -46,16 +46,14 @@ type workspace struct {
 	// bs is the rank-block width handed to the blocked kernels for the
 	// current strip (0 selects the plain SPLATT per-block kernel).
 	bs int
-	// nextLayer is the MB work queue: workers claim mode-1 layers by
-	// atomic increment (replacing a per-Run channel).
-	nextLayer atomic.Int64
 
-	// shares are the CSF slice ranges of each worker (SPLATT / RankB);
-	// ranges are the nonzero ranges of each worker (COO). Both depend
-	// only on the preprocessed structure and the worker count, so they
-	// are computed once.
-	shares [][2]int
-	ranges [][2]int
+	// q distributes the executor's work units — CSF slice ranges
+	// (SPLATT / RankB), mode-1 block layers (MB / MB+RankB), nonzero
+	// ranges (COO) — to the prebuilt runners under the plan's
+	// scheduling policy. Its layouts depend only on the preprocessed
+	// structure and the worker count, so they are built once in
+	// initRunners (see internal/sched for the claim protocol).
+	q sched.Queue
 
 	// accums holds one fiber-accumulator array per worker (SPLATT and
 	// the per-block kernel of MB), each sized to the current rank.
@@ -164,6 +162,7 @@ func (ws *workspace) publish(b, c, out *la.Matrix, bs int) {
 //
 //spblock:hotpath
 func (ws *workspace) launch() {
+	ws.q.Reset()
 	ws.wg.Add(len(ws.runners))
 	for _, fn := range ws.runners {
 		go fn()
@@ -171,106 +170,163 @@ func (ws *workspace) launch() {
 	ws.wg.Wait()
 }
 
-// initRunners builds the worker closures for the executor's method.
-// Called once from NewExecutor, after the tensor structures exist.
-// Runners are only built when the plan resolves to >1 effective
-// workers; otherwise Run takes the inline sequential paths.
+// initRunners builds the worker closures for the executor's method and
+// the sched.Queue layouts they claim work from. Called once from
+// NewExecutor, after the tensor structures exist. Runners are only
+// built when the plan resolves to >1 effective workers; otherwise Run
+// takes the inline sequential paths. All share/chunk computation lives
+// in internal/sched — this function only defines what a work unit *is*
+// per method and what its weight function looks like.
+//
+//spblock:coldpath
 func (e *Executor) initRunners() {
 	ws := &e.ws
 	workers := e.plan.workers()
 	switch e.plan.Method {
 	case MethodCOO:
-		ws.ranges = nnzRanges(e.coo.NNZ(), workers)
-		for w := range ws.ranges {
+		// COO stays static under every policy: the privatised outputs
+		// are reduced in worker order (runCOO), so the chunk→worker
+		// assignment is part of the floating-point result. No stealing
+		// layout is built, which makes promotion a guaranteed no-op.
+		chunks := sched.UniformChunks(e.coo.NNZ(), workers)
+		if chunks == nil {
+			return
+		}
+		ws.q.InitStatic(chunks)
+		for w := range chunks {
 			w := w
 			ws.runners = append(ws.runners, func() {
 				defer ws.wg.Done()
 				t0 := time.Now()
 				priv := ws.privates[w]
 				priv.Zero()
-				cooRange(e.coo, ws.b, ws.c, priv, ws.ranges[w][0], ws.ranges[w][1])
+				for {
+					lo, hi, _, ok := ws.q.Next(w)
+					if !ok {
+						break
+					}
+					cooRange(e.coo, ws.b, ws.c, priv, lo, hi)
+				}
 				e.met.AddWorkerTime(w, time.Since(t0))
 			})
 		}
 	case MethodSPLATT:
-		ws.shares = sliceShares(e.csf, workers)
-		if len(ws.shares) <= 1 {
-			ws.shares = nil
-			return
-		}
-		for w := range ws.shares {
+		nw := e.initSliceQueue(workers)
+		for w := 0; w < nw; w++ {
 			w := w
 			ws.runners = append(ws.runners, func() {
 				defer ws.wg.Done()
 				t0 := time.Now()
-				sh := ws.shares[w]
-				splattRange(e.csf, ws.b, ws.c, ws.out, ws.accums[w][:ws.out.Cols], sh[0], sh[1])
+				for {
+					lo, hi, stolen, ok := ws.q.Next(w)
+					if !ok {
+						break
+					}
+					if stolen {
+						e.met.AddWorkerSteal(w)
+					}
+					splattRange(e.csf, ws.b, ws.c, ws.out, ws.accums[w][:ws.out.Cols], lo, hi)
+				}
 				e.met.AddWorkerTime(w, time.Since(t0))
 			})
 		}
 	case MethodRankB:
-		ws.shares = sliceShares(e.csf, workers)
-		if len(ws.shares) <= 1 {
-			ws.shares = nil
-			return
-		}
-		for w := range ws.shares {
+		nw := e.initSliceQueue(workers)
+		for w := 0; w < nw; w++ {
 			w := w
 			ws.runners = append(ws.runners, func() {
 				defer ws.wg.Done()
 				t0 := time.Now()
-				sh := ws.shares[w]
-				rankBRange(e.csf, ws.b, ws.c, ws.out, &ws.kern, ws.bs, sh[0], sh[1])
+				for {
+					lo, hi, stolen, ok := ws.q.Next(w)
+					if !ok {
+						break
+					}
+					if stolen {
+						e.met.AddWorkerSteal(w)
+					}
+					rankBRange(e.csf, ws.b, ws.c, ws.out, &ws.kern, ws.bs, lo, hi)
+				}
 				e.met.AddWorkerTime(w, time.Since(t0))
 			})
 		}
 	case MethodMB, MethodMBRankB:
-		if workers > e.blocked.Grid[0] {
-			workers = e.blocked.Grid[0]
+		layers := e.blocked.Grid[0]
+		if workers > layers {
+			workers = layers
 		}
 		if workers <= 1 {
 			return
+		}
+		// The static layout is the historical shared layer counter:
+		// every worker drains one queue of single-layer units in claim
+		// order. The stealing layout regroups layers into nnz-balanced
+		// chunks with per-worker segments, so a worker stuck on a dense
+		// layer no longer serialises the tail of the queue behind it.
+		ws.q.InitStaticShared(sched.UnitRanges(layers))
+		if e.plan.Sched != sched.PolicyStatic {
+			cum := layerCum(e.blocked)
+			ws.q.InitStealing(sched.StealChunks(layers, workers, cum), workers)
 		}
 		for w := 0; w < workers; w++ {
 			w := w
 			ws.runners = append(ws.runners, func() {
 				defer ws.wg.Done()
 				t0 := time.Now()
-				grid0 := int64(e.blocked.Grid[0])
 				for {
-					bi := ws.nextLayer.Add(1) - 1
-					if bi >= grid0 {
-						e.met.AddWorkerTime(w, time.Since(t0))
-						return
+					lo, hi, stolen, ok := ws.q.Next(w)
+					if !ok {
+						break
 					}
-					mbLayer(e.blocked, ws.b, ws.c, ws.out, &ws.kern, ws.bs, int(bi), ws.accums[w][:ws.out.Cols])
+					if stolen {
+						e.met.AddWorkerSteal(w)
+					}
+					for bi := lo; bi < hi; bi++ {
+						mbLayer(e.blocked, ws.b, ws.c, ws.out, &ws.kern, ws.bs, bi, ws.accums[w][:ws.out.Cols])
+					}
 				}
+				e.met.AddWorkerTime(w, time.Since(t0))
 			})
 		}
 	}
 }
 
-// nnzRanges splits n nonzeros into at most `workers` contiguous ranges
-// (the COO privatisation shares). Returns nil when one worker suffices.
-func nnzRanges(n, workers int) [][2]int {
-	if workers > n {
-		workers = n
+// initSliceQueue builds the CSF slice-range queue shared by the SPLATT
+// and RankB runners: nnz-weighted static shares, plus the finer
+// stealing chunk list when the plan's policy can promote. Returns the
+// worker count the partition supports (0 means run sequentially).
+//
+//spblock:coldpath
+func (e *Executor) initSliceQueue(workers int) int {
+	n := e.csf.NumSlices()
+	cum := func(i int) int64 { return int64(e.csf.FiberPtr[e.csf.SlicePtr[i+1]]) }
+	shares := sched.Shares(n, workers, cum)
+	if len(shares) <= 1 {
+		return 0
 	}
-	if workers <= 1 {
-		return nil
+	e.ws.q.InitStatic(shares)
+	if e.plan.Sched != sched.PolicyStatic {
+		e.ws.q.InitStealing(sched.StealChunks(n, len(shares), cum), len(shares))
 	}
-	chunk := (n + workers - 1) / workers
-	rs := make([][2]int, 0, workers)
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	return len(shares)
+}
+
+// layerCum returns the cumulative-nonzero weight function over the
+// blocked tensor's mode-1 layers, for nnz-balanced steal chunks.
+//
+//spblock:coldpath
+func layerCum(bt *BlockedTensor) func(int) int64 {
+	prefix := make([]int64, bt.Grid[0])
+	var total int64
+	for bi := 0; bi < bt.Grid[0]; bi++ {
+		for bj := 0; bj < bt.Grid[1]; bj++ {
+			for bk := 0; bk < bt.Grid[2]; bk++ {
+				if blk := bt.Blocks[(bi*bt.Grid[1]+bj)*bt.Grid[2]+bk]; blk != nil {
+					total += int64(blk.NNZ())
+				}
+			}
 		}
-		if lo >= hi {
-			break
-		}
-		rs = append(rs, [2]int{lo, hi})
+		prefix[bi] = total
 	}
-	return rs
+	return func(i int) int64 { return prefix[i] }
 }

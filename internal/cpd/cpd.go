@@ -14,11 +14,13 @@ import (
 	"math"
 
 	"spblock/internal/als"
+	"spblock/internal/autotune"
 	"spblock/internal/core"
 	"spblock/internal/engine"
 	"spblock/internal/la"
 	"spblock/internal/memo"
 	"spblock/internal/metrics"
+	"spblock/internal/sched"
 	"spblock/internal/tensor"
 )
 
@@ -43,6 +45,21 @@ type Options struct {
 	Memoize bool
 	// Seed drives the random factor initialisation.
 	Seed int64
+	// Replan enables the between-sweep replan hook (sched.Replanner): a
+	// controller watches the engine's per-mode worker imbalance across
+	// sweeps and, when the ratchet fires, re-costs the plan space with
+	// autotune.Replan and rebuilds the engine on the winner — the
+	// "optional layout switch between sweeps" this library's autotuning
+	// layer exists for. Incompatible with Memoize (the memoized kernel
+	// folds two of the three modes outside the engine, so a rebuilt plan
+	// would only govern a third of the sweep).
+	Replan bool
+	// MaxReplans bounds how many times the replan controller may invoke
+	// the autotuner per decomposition. Default 1 when Replan is set.
+	MaxReplans int
+	// ReplanController overrides the replan controller's thresholds;
+	// zero fields take the internal/sched defaults.
+	ReplanController sched.ControllerConfig
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -58,6 +75,12 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Plan.Grid == ([3]int{}) {
 		o.Plan.Grid = [3]int{1, 1, 1}
 	}
+	if o.Replan && o.Memoize {
+		return o, fmt.Errorf("cpd: Replan is incompatible with Memoize")
+	}
+	if o.Replan && o.MaxReplans <= 0 {
+		o.MaxReplans = 1
+	}
 	return o, nil
 }
 
@@ -72,6 +95,13 @@ type Result struct {
 	// Phases buckets the decomposition's wall time by phase (MTTKRP vs
 	// solve vs fit) — see metrics.PhaseTimes.
 	Phases metrics.PhaseTimes
+	// Plan is the plan the final sweeps ran on — Options.Plan with
+	// defaults applied, updated if between-sweep replanning switched
+	// layouts.
+	Plan core.Plan
+	// Replans counts the replan controller's autotuner invocations
+	// (0 when Options.Replan is off or the controller never fired).
+	Replans int
 }
 
 // Fit returns the final fit, or 0 before any sweep ran.
@@ -117,6 +147,96 @@ func (k *memoKernel) MTTKRP(mode int, factors []*la.Matrix, out *la.Matrix) erro
 	return k.engineKernel.MTTKRP(mode, factors, out)
 }
 
+// replanKernel wraps engineKernel with the between-sweep replan loop:
+// als.Run calls ReplanSweep after every successful non-final sweep, a
+// controller ratchets on the engine's observed worker imbalance, and a
+// fired ratchet asks autotune.Replan for a cheaper (method, grid,
+// strip, sched) combination under that imbalance. A changed plan
+// rebuilds the multi-mode engine — legal exactly here, between sweeps,
+// where no executor is mid-Run.
+type replanKernel struct {
+	engineKernel
+	t       *tensor.COO
+	rank    int
+	plan    core.Plan
+	cfg     sched.ControllerConfig
+	ctrl    *sched.Controller
+	prev    [3][]int64
+	max     int
+	seed    int64
+	replans int
+}
+
+func newReplanKernel(t *tensor.COO, eng *engine.MultiModeExecutor, opts Options) *replanKernel {
+	k := &replanKernel{
+		engineKernel: engineKernel{dims: t.Dims[:], eng: eng},
+		t:            t,
+		rank:         opts.Rank,
+		plan:         opts.Plan,
+		cfg:          opts.ReplanController,
+		ctrl:         sched.NewController(opts.ReplanController),
+		max:          opts.MaxReplans,
+		seed:         opts.Seed,
+	}
+	k.sizeWindows()
+	return k
+}
+
+// sizeWindows re-bases the per-mode imbalance windows against the
+// current engine's collectors (fresh collectors start at zero, so fresh
+// zero baselines are exact).
+func (k *replanKernel) sizeWindows() {
+	for mode := 0; mode < 3; mode++ {
+		met, err := k.eng.Metrics(mode)
+		if err != nil {
+			k.prev[mode] = nil
+			continue
+		}
+		k.prev[mode] = make([]int64, met.Workers())
+	}
+}
+
+// ReplanSweep implements sched.Replanner.
+func (k *replanKernel) ReplanSweep(sweep int) error {
+	if k.replans >= k.max {
+		return nil
+	}
+	// The observation is the worst per-mode imbalance this sweep: each
+	// mode has its own executor and the sweep is only as balanced as its
+	// most skewed mode product.
+	imb := 1.0
+	for mode := 0; mode < 3; mode++ {
+		met, err := k.eng.Metrics(mode)
+		if err != nil {
+			return err
+		}
+		if v := met.WindowImbalance(k.prev[mode]); v > imb {
+			imb = v
+		}
+	}
+	if !k.ctrl.Observe(imb) {
+		return nil
+	}
+	k.replans++
+	// Re-arm the one-way ratchet so a later window of sustained
+	// imbalance can spend the remaining replan budget.
+	k.ctrl = sched.NewController(k.cfg)
+	res, err := autotune.Replan(k.t, k.rank, k.plan, imb, autotune.Options{Seed: k.seed, Workers: k.plan.Workers})
+	if err != nil {
+		return err
+	}
+	if res.Plan.String() == k.plan.String() {
+		return nil
+	}
+	eng, err := engine.NewMultiModeExecutor(k.t, res.Plan)
+	if err != nil {
+		return err
+	}
+	k.eng, k.plan = eng, res.Plan
+	k.sizeWindows()
+	return nil
+}
+
 // CPALS decomposes t with alternating least squares. The sweep loop
 // itself lives in internal/als; this driver only assembles the kernel.
 func CPALS(t *tensor.COO, opts Options) (*Result, error) {
@@ -152,8 +272,13 @@ func CPALS(t *tensor.COO, opts Options) (*Result, error) {
 
 	ek := engineKernel{dims: t.Dims[:], eng: eng}
 	var k als.Kernel = &ek
-	if memoEng != nil {
+	var rk *replanKernel
+	switch {
+	case memoEng != nil:
 		k = &memoKernel{engineKernel: ek, memo: memoEng}
+	case opts.Replan:
+		rk = newReplanKernel(t, eng, opts)
+		k = rk
 	}
 	ares, aerr := als.Run(k, als.Config{
 		Rank:      opts.Rank,
@@ -172,6 +297,11 @@ func CPALS(t *tensor.COO, opts Options) (*Result, error) {
 		Iters:     ares.Iters,
 		Converged: ares.Converged,
 		Phases:    ares.Phases,
+		Plan:      opts.Plan,
+	}
+	if rk != nil {
+		res.Plan = rk.plan
+		res.Replans = rk.replans
 	}
 	copy(res.Factors[:], ares.Factors)
 	return res, aerr

@@ -7,6 +7,7 @@ import (
 
 	"spblock/internal/core"
 	"spblock/internal/la"
+	"spblock/internal/sched"
 	"spblock/internal/tensor"
 )
 
@@ -271,5 +272,63 @@ func TestMemoizedCPALSOnSparseTensor(t *testing.T) {
 	}
 	if res.Fit() <= 0 || math.IsNaN(res.Fit()) {
 		t.Fatalf("memoized decomposition broken: fit=%v", res.Fit())
+	}
+}
+
+// TestReplanFiresAndDecomposes forces the replan controller to its most
+// trigger-happy setting (any observation >= 1.0 fires after one sweep)
+// so the autotuner runs and the engine may be rebuilt mid-decomposition
+// — and the decomposition still converges to the planted structure.
+func TestReplanFiresAndDecomposes(t *testing.T) {
+	dims := tensor.Dims{8, 9, 10}
+	x := plantedTensor(5, dims, 2)
+	res, err := CPALS(x, Options{
+		Rank:             2,
+		MaxIters:         60,
+		Tol:              1e-10,
+		Seed:             4,
+		Plan:             core.Plan{Method: core.MethodSPLATT, Workers: 2},
+		Replan:           true,
+		MaxReplans:       1,
+		ReplanController: sched.ControllerConfig{PromoteAbove: 1.0, Patience: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replans != 1 {
+		t.Fatalf("Replans = %d, want exactly the MaxReplans budget of 1", res.Replans)
+	}
+	if res.Plan.Workers != 2 {
+		t.Fatalf("replanned plan lost the worker count: %v", res.Plan)
+	}
+	if res.Fit() < 0.99 {
+		t.Fatalf("replanned decomposition fit %v, want >= 0.99", res.Fit())
+	}
+}
+
+// TestReplanQuietControllerNeverFires: with the default thresholds, a
+// tiny balanced problem should never trip a replan — the plan the
+// caller asked for is the plan the decomposition ends on.
+func TestReplanQuietControllerNeverFires(t *testing.T) {
+	x := plantedTensor(6, tensor.Dims{6, 6, 6}, 2)
+	want := core.Plan{Method: core.MethodSPLATT, Grid: [3]int{1, 1, 1}, Workers: 1}
+	res, err := CPALS(x, Options{Rank: 2, MaxIters: 10, Seed: 1, Plan: want, Replan: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sequential executor always observes imbalance 1 < the default
+	// PromoteAbove, so the controller cannot fire.
+	if res.Replans != 0 {
+		t.Fatalf("Replans = %d on a sequential run, want 0", res.Replans)
+	}
+	if res.Plan.String() != want.String() {
+		t.Fatalf("plan changed without a replan: %v", res.Plan)
+	}
+}
+
+func TestReplanRejectsMemoize(t *testing.T) {
+	x := plantedTensor(7, tensor.Dims{4, 4, 4}, 1)
+	if _, err := CPALS(x, Options{Rank: 2, Replan: true, Memoize: true}); err == nil {
+		t.Fatal("Replan+Memoize accepted")
 	}
 }

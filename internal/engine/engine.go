@@ -187,6 +187,16 @@ func (m *MultiModeExecutor) Metrics(n int) (*metrics.Collector, error) {
 	return e.Metrics(), nil
 }
 
+// Sched reports the resolved scheduler identity of mode n's executor
+// (see core.Executor.Sched); empty for sequential executors.
+func (m *MultiModeExecutor) Sched(n int) (string, error) {
+	e, err := m.executor(n)
+	if err != nil {
+		return "", err
+	}
+	return e.Sched(), nil
+}
+
 // Kernel reports the register-block kernel variant mode n's executor
 // dispatches through (see core.Executor.Kernel).
 func (m *MultiModeExecutor) Kernel(n int) (kernel.Variant, error) {

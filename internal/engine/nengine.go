@@ -104,6 +104,7 @@ func planFromNOptions(opts nmode.Options, dims []int) (core.Plan, error) {
 		Workers:       opts.Workers,
 		RankBlockCols: opts.RankBlockCols,
 		Grid:          [3]int{1, 1, 1},
+		Sched:         opts.Sched,
 	}
 	// Match the generic nmode.NewExecutor validation: a negative strip
 	// width must not silently select SPLATT on the order-3 fast path.
@@ -192,6 +193,24 @@ func (e *NEngine) Kernel(mode int) (kernel.Variant, error) {
 		return kernel.Variant{}, fmt.Errorf("engine: mode %d was not requested at construction", mode)
 	}
 	return e.execs[mode].Kernel(), nil
+}
+
+// Sched reports the resolved scheduler identity of mode `mode`'s
+// executor (the internal/sched name constants; empty for sequential
+// executors), whichever executor family serves it. Adaptive executors
+// report their current layout, so a decomposition driver can watch a
+// mode get promoted between sweeps.
+func (e *NEngine) Sched(mode int) (string, error) {
+	if mode < 0 || mode >= len(e.dims) {
+		return "", fmt.Errorf("engine: mode %d out of range [0,%d)", mode, len(e.dims))
+	}
+	if e.fast != nil {
+		return e.fast.Sched(mode)
+	}
+	if e.execs[mode] == nil {
+		return "", fmt.Errorf("engine: mode %d was not requested at construction", mode)
+	}
+	return e.execs[mode].Sched(), nil
 }
 
 // Order returns the number of modes.

@@ -7,6 +7,7 @@ import (
 	"spblock/internal/core"
 	"spblock/internal/la"
 	"spblock/internal/nmode"
+	"spblock/internal/sched"
 	"spblock/internal/tensor"
 )
 
@@ -201,5 +202,59 @@ func TestNEngineValidation(t *testing.T) {
 	}
 	if err := eng.Run(1, factors[:2], la.NewMatrix(5, 8)); err == nil {
 		t.Error("short factor list accepted")
+	}
+}
+
+// TestNEngineSchedPropagation pins Options.Sched through both executor
+// families: the order-3 fast path maps it onto core.Plan.Sched and the
+// generic N-mode executors take it directly; either way the engine
+// reports the resolved scheduler identity per mode.
+func TestNEngineSchedPropagation(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	nt3 := tensor.ToNMode(randCOO(rng, tensor.Dims{24, 20, 16}, 1500))
+	dims4 := []int{12, 10, 8, 6}
+	nt4 := nmode.NewTensor(dims4, 1200)
+	coords := make([]nmode.Index, 4)
+	for p := 0; p < 1200; p++ {
+		for m, d := range dims4 {
+			coords[m] = nmode.Index(rng.Intn(d))
+		}
+		nt4.Append(coords, rng.NormFloat64())
+	}
+	if _, err := nt4.Dedup(); err != nil {
+		t.Fatal(err)
+	}
+	for _, nt := range []*nmode.Tensor{nt3, nt4} {
+		eng, err := NewNEngine(nt, nmode.Options{Workers: 4, Sched: sched.PolicySteal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mode := 0; mode < nt.Order(); mode++ {
+			got, err := eng.Sched(mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != sched.StealName {
+				t.Errorf("order-%d mode %d: sched %q, want %q", nt.Order(), mode, got, sched.StealName)
+			}
+		}
+		if _, err := eng.Sched(nt.Order()); err == nil {
+			t.Error("out-of-range mode accepted")
+		}
+	}
+	// An adaptive engine starts on the static layout.
+	eng, err := NewNEngine(nt3, nmode.Options{Workers: 4, Sched: sched.PolicyAdaptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := eng.Sched(0); got != sched.AdaptiveStaticName {
+		t.Errorf("adaptive engine reports %q, want %q", got, sched.AdaptiveStaticName)
+	}
+	// An invalid policy is rejected at construction on both paths.
+	if _, err := NewNEngine(nt3, nmode.Options{Sched: sched.Policy(9)}); err == nil {
+		t.Error("fast path accepted an invalid sched policy")
+	}
+	if _, err := NewNEngine(nt4, nmode.Options{Sched: sched.Policy(9)}); err == nil {
+		t.Error("generic path accepted an invalid sched policy")
 	}
 }

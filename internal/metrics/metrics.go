@@ -95,22 +95,30 @@ func EqBytes(nnz, fibers int64, rank, strips int) int64 {
 type Collector struct {
 	perRun PerRun
 	kernel string
+	sched  string
 
 	runs     int64
 	totals   PerRun
 	runNS    int64
 	workerNS []int64
+	steals   []int64
 }
 
-// SizeWorkers pre-sizes the per-worker time buckets. Called once at
-// executor construction, after the worker closures are built; n < 1 is
-// clamped to one bucket (the sequential path).
+// SizeWorkers pre-sizes the per-worker time buckets (and the parallel
+// steal buckets). Called once at executor construction, after the
+// worker closures are built; n < 1 is clamped to one bucket (the
+// sequential path).
 func (c *Collector) SizeWorkers(n int) {
 	if n < 1 {
 		n = 1
 	}
 	c.workerNS = make([]int64, n)
+	c.steals = make([]int64, n)
 }
+
+// Workers returns the number of per-worker buckets (1 for sequential
+// executors) — the length a WindowImbalance baseline must have.
+func (c *Collector) Workers() int { return len(c.workerNS) }
 
 // SetPerRun installs the precomputed per-Run counter deltas. Called on
 // the amortised resize path whenever the rank or strip width changes.
@@ -121,6 +129,17 @@ func (c *Collector) SetPerRun(p PerRun) { c.perRun = p }
 // Called on the same amortised resize path as SetPerRun; empty means
 // the executor's method dispatches no rank-strip kernel.
 func (c *Collector) SetKernel(name string) { c.kernel = name }
+
+// SetSched records the executor's resolved scheduler identity (the
+// internal/sched name constants, e.g. "static", "steal",
+// "adaptive:static"). The adaptive executor calls it again at
+// promotion time with a preallocated constant, so the call is legal on
+// the hot path; empty means the executor runs sequentially and
+// schedules nothing.
+func (c *Collector) SetSched(name string) { c.sched = name }
+
+// Sched returns the recorded scheduler identity.
+func (c *Collector) Sched() string { return c.sched }
 
 // EndRun closes out one executor Run that started at `start`: it adds
 // the precomputed counter deltas and the wall time. On the sequential
@@ -150,6 +169,42 @@ func (c *Collector) AddWorkerTime(w int, dt time.Duration) {
 	c.workerNS[w] += dt.Nanoseconds()
 }
 
+// AddWorkerSteal counts one stolen chunk claimed by worker w. Same
+// index-disjointness contract as AddWorkerTime.
+//
+// Hot-path safe: one integer add.
+func (c *Collector) AddWorkerSteal(w int) {
+	c.steals[w]++
+}
+
+// WindowImbalance returns the max/mean load-imbalance factor of the
+// worker busy time accumulated since the previous call — the adaptive
+// controller's per-run observation. prev is the caller-owned window
+// baseline, pre-sized to the worker count on the cold path; the call
+// updates it in place, so it is allocation-free and legal after EndRun
+// on the hot path (the workers are quiescent there — same single-Run
+// rule as Snapshot). Returns 1 (balanced) for sequential executors, a
+// mis-sized baseline, or an empty window.
+func (c *Collector) WindowImbalance(prev []int64) float64 {
+	n := len(c.workerNS)
+	if n <= 1 || len(prev) != n {
+		return 1
+	}
+	var sum, maxNS int64
+	for i, ns := range c.workerNS {
+		d := ns - prev[i]
+		prev[i] = ns
+		sum += d
+		if d > maxNS {
+			maxNS = d
+		}
+	}
+	if sum <= 0 {
+		return 1
+	}
+	return float64(maxNS) * float64(n) / float64(sum)
+}
+
 // Reset zeroes the accumulated totals and time buckets, keeping the
 // bucket sizing and the per-Run deltas. Benchmarks call it after
 // warm-up so a report covers exactly the timed window.
@@ -159,6 +214,9 @@ func (c *Collector) Reset() {
 	c.runNS = 0
 	for i := range c.workerNS {
 		c.workerNS[i] = 0
+	}
+	for i := range c.steals {
+		c.steals[i] = 0
 	}
 }
 
@@ -189,12 +247,19 @@ type Snapshot struct {
 	// dispatched through ("w8"/"w16"/"w24"/"w32"/"scalar"; see
 	// internal/kernel). Empty for methods without a rank-strip kernel.
 	Kernel string `json:"kernel,omitempty"`
+	// Sched names the resolved scheduler (internal/sched: "static",
+	// "steal", "adaptive:static", "adaptive:steal"). Empty for
+	// sequential executors. BENCH schema v3.
+	Sched string `json:"sched,omitempty"`
+	// WorkerSteals holds each worker's stolen-chunk count; omitted when
+	// no chunk was ever stolen. BENCH schema v3.
+	WorkerSteals []int64 `json:"worker_steals,omitempty"`
 }
 
 // Snapshot copies the collector's state out. Cold path: it allocates
 // the bucket copy.
 func (c *Collector) Snapshot() Snapshot {
-	return Snapshot{
+	s := Snapshot{
 		Runs:     c.runs,
 		NNZ:      c.totals.NNZ,
 		Fibers:   c.totals.Fibers,
@@ -204,7 +269,24 @@ func (c *Collector) Snapshot() Snapshot {
 		WallNS:   c.runNS,
 		WorkerNS: append([]int64(nil), c.workerNS...),
 		Kernel:   c.kernel,
+		Sched:    c.sched,
 	}
+	for _, v := range c.steals {
+		if v != 0 {
+			s.WorkerSteals = append([]int64(nil), c.steals...)
+			break
+		}
+	}
+	return s
+}
+
+// Steals returns the total stolen-chunk count across workers.
+func (s Snapshot) Steals() int64 {
+	var t int64
+	for _, v := range s.WorkerSteals {
+		t += v
+	}
+	return t
 }
 
 // NsPerRun returns the mean wall time per Run in nanoseconds, or 0

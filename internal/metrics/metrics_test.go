@@ -112,6 +112,78 @@ func TestSnapshotDerivedEdgeCases(t *testing.T) {
 	}
 }
 
+func TestCollectorSchedAndSteals(t *testing.T) {
+	var c Collector
+	c.SizeWorkers(3)
+	c.SetSched("steal")
+	if c.Sched() != "steal" {
+		t.Fatalf("Sched() = %q", c.Sched())
+	}
+
+	// No steals yet: the snapshot omits the buckets entirely so
+	// static-scheduled BENCH records stay free of dead fields.
+	s := c.Snapshot()
+	if s.Sched != "steal" {
+		t.Fatalf("snapshot sched = %q", s.Sched)
+	}
+	if s.WorkerSteals != nil || s.Steals() != 0 {
+		t.Fatalf("steal-free snapshot carries buckets: %v", s.WorkerSteals)
+	}
+
+	c.AddWorkerSteal(1)
+	c.AddWorkerSteal(1)
+	c.AddWorkerSteal(2)
+	s = c.Snapshot()
+	if len(s.WorkerSteals) != 3 || s.WorkerSteals[1] != 2 || s.WorkerSteals[2] != 1 {
+		t.Fatalf("steal buckets wrong: %v", s.WorkerSteals)
+	}
+	if s.Steals() != 3 {
+		t.Fatalf("Steals() = %d, want 3", s.Steals())
+	}
+
+	// Reset zeroes the buckets but keeps the scheduler identity (it is
+	// resize-path state, like the kernel name).
+	c.Reset()
+	s = c.Snapshot()
+	if s.WorkerSteals != nil || s.Sched != "steal" {
+		t.Fatalf("reset: %+v", s)
+	}
+}
+
+func TestWindowImbalance(t *testing.T) {
+	var c Collector
+	c.SizeWorkers(2)
+	prev := make([]int64, 2)
+
+	c.AddWorkerTime(0, 3*time.Millisecond)
+	c.AddWorkerTime(1, 1*time.Millisecond)
+	// Window 1: max 3ms over mean 2ms.
+	if im := c.WindowImbalance(prev); im != 1.5 {
+		t.Fatalf("window 1 imbalance = %v, want 1.5", im)
+	}
+
+	// Window 2 sees only the delta since window 1 — the cumulative
+	// buckets grew, but the window is balanced.
+	c.AddWorkerTime(0, 2*time.Millisecond)
+	c.AddWorkerTime(1, 2*time.Millisecond)
+	if im := c.WindowImbalance(prev); im != 1 {
+		t.Fatalf("window 2 imbalance = %v, want 1", im)
+	}
+
+	// Empty window and mis-sized baselines report balanced.
+	if im := c.WindowImbalance(prev); im != 1 {
+		t.Fatalf("empty window imbalance = %v, want 1", im)
+	}
+	if im := c.WindowImbalance(make([]int64, 5)); im != 1 {
+		t.Fatalf("mis-sized baseline imbalance = %v, want 1", im)
+	}
+	var seq Collector
+	seq.SizeWorkers(1)
+	if im := seq.WindowImbalance(make([]int64, 1)); im != 1 {
+		t.Fatalf("sequential window imbalance = %v, want 1", im)
+	}
+}
+
 func TestPhaseTimes(t *testing.T) {
 	p := PhaseTimes{MTTKRPNS: 600, SolveNS: 300, NormNS: 100}
 	if p.TotalNS() != 1000 {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"spblock/internal/la"
+	"spblock/internal/sched"
 	"spblock/internal/testutil/raceflag"
 )
 
@@ -28,6 +29,14 @@ func allocCases() []Options {
 		{Grid: []int{2, 2, 1, 2}, Workers: 4},
 		{Grid: []int{2, 2, 1, 2}, RankBlockCols: 16, Workers: 1},
 		{Grid: []int{2, 2, 1, 2}, RankBlockCols: 16, Workers: 4},
+		// Stealing and adaptive scheduling over both the root-range and
+		// the block-layer work units hold the same zero-alloc and
+		// bit-identity contracts as static (see internal/sched).
+		{Workers: 4, Sched: sched.PolicySteal},
+		{Workers: 4, Sched: sched.PolicyAdaptive},
+		{RankBlockCols: 16, Workers: 4, Sched: sched.PolicySteal},
+		{Grid: []int{2, 2, 1, 2}, Workers: 4, Sched: sched.PolicySteal},
+		{Grid: []int{2, 2, 1, 2}, RankBlockCols: 16, Workers: 4, Sched: sched.PolicyAdaptive},
 	}
 }
 
@@ -263,8 +272,9 @@ func TestExecutorGridNormalization(t *testing.T) {
 	}
 }
 
-// TestRootShares: the leaf-balanced root split covers every root
-// exactly once, in order.
+// TestRootShares: the leaf-balanced root split — now sched.Shares over
+// the rootLeafEnds weight function — covers every root exactly once,
+// in order.
 func TestRootShares(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	x := randTensorN(rng, []int{17, 6, 5}, 300)
@@ -272,8 +282,10 @@ func TestRootShares(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	end := rootLeafEnds(c)
+	cum := func(i int) int64 { return end[i] }
 	for _, workers := range []int{2, 3, 5, 32} {
-		shares := rootShares(c, workers)
+		shares := sched.Shares(c.NumNodes(0), workers, cum)
 		if shares == nil {
 			t.Fatalf("workers=%d: nil shares", workers)
 		}
@@ -291,8 +303,8 @@ func TestRootShares(t *testing.T) {
 			t.Fatalf("workers=%d: shares end at %d, want %d", workers, prev, c.NumNodes(0))
 		}
 	}
-	if s := rootShares(c, 1); s != nil {
-		t.Errorf("workers=1: got shares %v, want nil", s)
+	if s := sched.Shares(c.NumNodes(0), 1, cum); len(s) != 1 {
+		t.Errorf("workers=1: got shares %v, want one full-span share", s)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"spblock/internal/kernel"
 	"spblock/internal/la"
 	"spblock/internal/metrics"
+	"spblock/internal/sched"
 )
 
 // Executor owns the preprocessed structures and pooled workspace for
@@ -37,6 +38,13 @@ type Executor struct {
 
 	ws  nworkspace
 	met metrics.Collector
+
+	// ctrl is the adaptive policy's promotion loop (nil unless
+	// Options.Sched is PolicyAdaptive and the executor runs parallel);
+	// prevNS is its per-worker busy-time window baseline, pre-sized on
+	// the cold path.
+	ctrl   *sched.Controller
+	prevNS []int64
 }
 
 // NewExecutor preprocesses t for mode-`mode` MTTKRP products under
@@ -58,6 +66,9 @@ func NewExecutor(t *Tensor, mode int, opts Options) (*Executor, error) {
 	}
 	if opts.RankBlockCols < 0 {
 		return nil, fmt.Errorf("nmode: negative RankBlockCols %d", opts.RankBlockCols)
+	}
+	if !opts.Sched.Valid() {
+		return nil, fmt.Errorf("nmode: unknown sched policy %d", opts.Sched)
 	}
 	e := &Executor{
 		dims:  append([]int(nil), t.Dims...),
@@ -93,7 +104,29 @@ func NewExecutor(t *Tensor, mode int, opts Options) (*Executor, error) {
 	}
 	e.initRunners()
 	e.met.SizeWorkers(len(e.ws.runners))
+	e.initSched()
 	return e, nil
+}
+
+// initSched applies the requested scheduling policy to the queue the
+// runners claim from, mirroring core.Executor.initSched.
+//
+//spblock:coldpath
+func (e *Executor) initSched() {
+	if len(e.ws.runners) == 0 {
+		return
+	}
+	switch {
+	case e.opts.Sched == sched.PolicySteal && e.ws.q.CanSteal():
+		e.ws.q.SetStealing(true)
+		e.met.SetSched(sched.StealName)
+	case e.opts.Sched == sched.PolicyAdaptive && e.ws.q.CanSteal():
+		e.ctrl = sched.NewController(sched.ControllerConfig{})
+		e.prevNS = make([]int64, len(e.ws.runners))
+		e.met.SetSched(sched.AdaptiveStaticName)
+	default:
+		e.met.SetSched(sched.StaticName)
+	}
 }
 
 // Mode returns the output mode this executor serves.
@@ -108,6 +141,11 @@ func (e *Executor) Kernel() kernel.Variant { return e.ws.kern.Variant }
 // counters and per-worker time buckets, always collecting. Snapshot it
 // between Runs, never mid-Run.
 func (e *Executor) Metrics() *metrics.Collector { return &e.met }
+
+// Sched reports the resolved scheduler identity (the internal/sched
+// name constants); adaptive executors report their current layout.
+// Empty for sequential executors.
+func (e *Executor) Sched() string { return e.met.Sched() }
 
 // Dims returns the tensor shape.
 func (e *Executor) Dims() []int { return e.dims }
@@ -146,6 +184,7 @@ func (e *Executor) Run(factors []*la.Matrix, out *la.Matrix) error {
 	if bs <= 0 || bs >= r {
 		e.runAll(factors, out)
 		e.met.EndRun(start)
+		e.observe()
 		return nil
 	}
 	// Rank strips (Sec. V-B): pack each operand strip into the pooled
@@ -170,7 +209,24 @@ func (e *Executor) Run(factors []*la.Matrix, out *la.Matrix) error {
 		unpackStrip(out, po, rr)
 	}
 	e.met.EndRun(start)
+	e.observe()
 	return nil
+}
+
+// observe feeds the adaptive controller this run's worker-imbalance
+// window and flips the queue to the stealing layout when the ratchet
+// fires — the same allocation-free transition core.Executor.observe
+// performs.
+//
+//spblock:hotpath
+func (e *Executor) observe() {
+	if e.ctrl == nil {
+		return
+	}
+	if e.ctrl.Observe(e.met.WindowImbalance(e.prevNS)) {
+		e.ws.q.SetStealing(true)
+		e.met.SetSched(sched.AdaptiveStealName)
+	}
 }
 
 //spblock:coldpath
@@ -223,7 +279,6 @@ func (e *Executor) runAll(factors []*la.Matrix, out *la.Matrix) {
 		return
 	}
 	ws.factors, ws.out = factors, out
-	ws.nextLayer.Store(0)
 	ws.launch()
 }
 

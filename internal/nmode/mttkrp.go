@@ -7,6 +7,7 @@ import (
 
 	"spblock/internal/kernel"
 	"spblock/internal/la"
+	"spblock/internal/sched"
 )
 
 // Options configures the N-mode MTTKRP.
@@ -22,6 +23,12 @@ type Options struct {
 	// [1, dim]. Only Executor and the engine layer honour it — the
 	// one-shot MTTKRP below operates on an already-built tree.
 	Grid []int
+	// Sched selects the work-distribution policy (internal/sched),
+	// mirroring core.Plan.Sched: zero value static, PolicySteal chunked
+	// work-stealing over root ranges or block layers, PolicyAdaptive
+	// static with metrics-driven promotion. Only Executor and the
+	// engine layer honour it.
+	Sched sched.Policy
 }
 
 // MTTKRP computes the mode-ModeOrder[0] matricised tensor times

@@ -1,0 +1,115 @@
+package nmode_test
+
+// Order-4 cross-scheduler equivalence: the static, stealing and
+// adaptive schedulers must produce bit-identical MTTKRP outputs on
+// Poisson and clustered-skew tensors, for both the unblocked
+// (root-range) and blocked (layer) work units. This is the N-mode half
+// of the matrix pinned for order 3 in internal/core/sched_test.go; it
+// lives in an external test package because internal/gen imports
+// internal/nmode.
+
+import (
+	"math/rand"
+	"testing"
+
+	"spblock/internal/gen"
+	"spblock/internal/la"
+	"spblock/internal/nmode"
+	"spblock/internal/sched"
+)
+
+func randFactors(seed int64, dims []int, mode, rank int) ([]*la.Matrix, *la.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	factors := make([]*la.Matrix, len(dims))
+	for m := range dims {
+		if m == mode {
+			continue
+		}
+		f := la.NewMatrix(dims[m], rank)
+		for i := range f.Data {
+			f.Data[i] = rng.NormFloat64()
+		}
+		factors[m] = f
+	}
+	return factors, la.NewMatrix(dims[mode], rank)
+}
+
+func equivTensors(t *testing.T) map[string]*nmode.Tensor {
+	t.Helper()
+	dims := []int{18, 14, 12, 10}
+	poisson, err := gen.PoissonN(gen.PoissonNParams{Dims: dims, Events: 5000}, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Few large clusters holding most of the mass: the skewed shape the
+	// stealing scheduler exists for.
+	clustered, err := gen.ClusteredN(gen.ClusteredNParams{
+		Dims: dims, NNZ: 4000, Clusters: 3, ClusterFrac: 0.9, ClusterSide: 0.3,
+	}, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*nmode.Tensor{"poisson4": poisson, "clustered4": clustered}
+}
+
+// TestSchedulerEquivalenceOrder4 pins bit-identity of steal and
+// adaptive against static across the unblocked and blocked paths, with
+// and without rank strips, on two output modes.
+func TestSchedulerEquivalenceOrder4(t *testing.T) {
+	const rank = 19
+	configs := []struct {
+		name string
+		opts nmode.Options
+	}{
+		{"unblocked", nmode.Options{Workers: 4}},
+		{"unblocked-strips", nmode.Options{Workers: 4, RankBlockCols: 8}},
+		{"blocked", nmode.Options{Workers: 4, Grid: []int{3, 2, 1, 2}}},
+		{"blocked-strips", nmode.Options{Workers: 4, Grid: []int{3, 2, 1, 2}, RankBlockCols: 8}},
+	}
+	for name, x := range equivTensors(t) {
+		for _, cfg := range configs {
+			for _, mode := range []int{0, 2} {
+				factors, want := randFactors(int64(100+mode), x.Dims, mode, rank)
+				base := cfg.opts
+				base.Sched = sched.PolicyStatic
+				eS, err := nmode.NewExecutor(x, mode, base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := eS.Run(factors, want); err != nil {
+					t.Fatal(err)
+				}
+				for _, pol := range []sched.Policy{sched.PolicySteal, sched.PolicyAdaptive} {
+					opts := cfg.opts
+					opts.Sched = pol
+					e, err := nmode.NewExecutor(x, mode, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := la.NewMatrix(x.Dims[mode], rank)
+					for run := 0; run < 4; run++ {
+						if err := e.Run(factors, got); err != nil {
+							t.Fatal(err)
+						}
+						for i, v := range got.Data {
+							if v != want.Data[i] {
+								t.Fatalf("%s/%s mode %d sched %v run %d: output differs from static at %d: %v != %v",
+									name, cfg.name, mode, pol, run, i, v, want.Data[i])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSchedPolicyRejectedOrder4 pins Options.Sched validation at the
+// N-mode executor boundary.
+func TestSchedPolicyRejectedOrder4(t *testing.T) {
+	x := nmode.NewTensor([]int{4, 4, 4, 4}, 1)
+	x.Append([]nmode.Index{1, 1, 1, 1}, 1)
+	if _, err := nmode.NewExecutor(x, 0, nmode.Options{Sched: sched.Policy(9)}); err == nil {
+		t.Fatal("NewExecutor accepted an invalid sched policy")
+	}
+}

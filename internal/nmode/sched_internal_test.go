@@ -1,0 +1,71 @@
+package nmode
+
+import (
+	"math/rand"
+	"testing"
+
+	"spblock/internal/la"
+	"spblock/internal/sched"
+)
+
+// TestAdaptivePromotionBitIdenticalN pins the promotion transition
+// itself on the N-mode executor: an adaptive executor starts on the
+// static layout, and after the queue is flipped to stealing (exactly
+// the way observe() does it) subsequent runs remain bit-identical —
+// for both the unblocked root-range and blocked layer work units.
+func TestAdaptivePromotionBitIdenticalN(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dims := []int{16, 12, 10, 8}
+	x := randTensorN(rng, dims, 2500)
+	const rank = 17
+	factors := make([]*la.Matrix, len(dims))
+	for m := 1; m < len(dims); m++ {
+		factors[m] = randMatrix(rng, dims[m], rank)
+	}
+	for _, opts := range []Options{
+		{Workers: 4, Sched: sched.PolicyAdaptive},
+		{Workers: 4, Grid: []int{2, 2, 1, 2}, Sched: sched.PolicyAdaptive},
+	} {
+		static := opts
+		static.Sched = sched.PolicyStatic
+		eS, err := NewExecutor(x, 0, static)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := la.NewMatrix(dims[0], rank)
+		if err := eS.Run(factors, want); err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewExecutor(x, 0, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.ctrl == nil {
+			t.Fatalf("%+v: adaptive executor built no controller", opts)
+		}
+		if got := e.Sched(); got != sched.AdaptiveStaticName {
+			t.Fatalf("%+v: pre-promotion sched = %q, want %q", opts, got, sched.AdaptiveStaticName)
+		}
+		got := la.NewMatrix(dims[0], rank)
+		if err := e.Run(factors, got); err != nil {
+			t.Fatal(err)
+		}
+		// Promote exactly the way observe() does on a fired ratchet.
+		e.ws.q.SetStealing(true)
+		e.met.SetSched(sched.AdaptiveStealName)
+		for run := 0; run < 3; run++ {
+			if err := e.Run(factors, got); err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range got.Data {
+				if v != want.Data[i] {
+					t.Fatalf("%+v run %d: promoted output differs from static at %d: %v != %v",
+						opts, run, i, v, want.Data[i])
+				}
+			}
+		}
+		if got := e.Sched(); got != sched.AdaptiveStealName {
+			t.Fatalf("%+v: post-promotion sched = %q, want %q", opts, got, sched.AdaptiveStealName)
+		}
+	}
+}

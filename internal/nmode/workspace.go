@@ -3,13 +3,13 @@ package nmode
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"spblock/internal/analysis/check"
 	"spblock/internal/kernel"
 	"spblock/internal/la"
 	"spblock/internal/metrics"
+	"spblock/internal/sched"
 )
 
 // nworkspace owns every buffer the N-mode kernels touch beyond the
@@ -19,8 +19,8 @@ import (
 // accumulators, goroutine closures) turn into allocator pressure and GC
 // noise on every sweep and every autotuner measurement.
 //
-// Worker-count-dependent state (root shares, the worker closures) is
-// built once in NewExecutor; rank-dependent buffers (walkers, packed
+// Worker-count-dependent state (the sched.Queue layouts, the worker
+// closures) is built once in NewExecutor; rank-dependent buffers (walkers, packed
 // strips) are sized lazily on the first Run and rebuilt only when the
 // rank changes. Ownership rule: everything here belongs to exactly one
 // Executor, which must not Run concurrently with itself.
@@ -39,14 +39,12 @@ type nworkspace struct {
 	// the workers launch and joined before it changes.
 	factors []*la.Matrix
 	out     *la.Matrix
-	// nextLayer is the blocked-path work queue: workers claim root-mode
-	// layers by atomic increment.
-	nextLayer atomic.Int64
 
-	// shares are the root-slice ranges of each worker on the unblocked
-	// path, balanced by leaf count (computed once — they depend only on
-	// the tree and the worker count).
-	shares [][2]int
+	// q distributes the run's work units — root-slice ranges on the
+	// unblocked path, root-mode block layers on the blocked path — to
+	// the prebuilt runners under the requested scheduling policy (see
+	// internal/sched). Built once in initRunners.
+	q sched.Queue
 
 	// walkers holds one DFS accumulator set per worker (index 0 serves
 	// the sequential path).
@@ -152,6 +150,7 @@ func (e *Executor) perRunMetrics(r int) metrics.PerRun {
 //
 //spblock:hotpath
 func (ws *nworkspace) launch() {
+	ws.q.Reset()
 	ws.wg.Add(len(ws.runners))
 	for _, fn := range ws.runners {
 		go fn()
@@ -159,10 +158,14 @@ func (ws *nworkspace) launch() {
 	ws.wg.Wait()
 }
 
-// initRunners builds the worker closures once, after the tree
-// structures exist. Runners are only built when the plan resolves to
-// more than one effective worker; otherwise Run takes the inline
-// sequential paths.
+// initRunners builds the worker closures and the sched.Queue layouts
+// they claim from, once, after the tree structures exist. Runners are
+// only built when the plan resolves to more than one effective worker;
+// otherwise Run takes the inline sequential paths. All share/chunk
+// computation lives in internal/sched — this function only defines the
+// work units (root ranges, block layers) and their weight functions.
+//
+//spblock:coldpath
 func (e *Executor) initRunners() {
 	ws := &e.ws
 	workers := e.opts.Workers
@@ -176,7 +179,14 @@ func (e *Executor) initRunners() {
 		if workers <= 1 {
 			return
 		}
-		layers := int64(len(e.layers))
+		// Static: the historical shared layer counter. Stealing:
+		// nnz-balanced groups of adjacent layers with per-worker
+		// segments.
+		ws.q.InitStaticShared(sched.UnitRanges(len(e.layers)))
+		if e.opts.Sched != sched.PolicyStatic {
+			cum := layerCum(e.layers)
+			ws.q.InitStealing(sched.StealChunks(len(e.layers), workers, cum), workers)
+		}
 		for w := 0; w < workers; w++ {
 			w := w
 			ws.runners = append(ws.runners, func() {
@@ -184,54 +194,70 @@ func (e *Executor) initRunners() {
 				t0 := time.Now()
 				wk := ws.walkers[w]
 				for {
-					li := ws.nextLayer.Add(1) - 1
-					if li >= layers {
-						e.met.AddWorkerTime(w, time.Since(t0))
-						return
+					lo, hi, stolen, ok := ws.q.Next(w)
+					if !ok {
+						break
 					}
-					for _, blk := range e.layers[li] {
-						wk.bind(blk, ws.factors, ws.out)
-						wk.roots(0, blk.NumNodes(0))
+					if stolen {
+						e.met.AddWorkerSteal(w)
+					}
+					for li := lo; li < hi; li++ {
+						for _, blk := range e.layers[li] {
+							wk.bind(blk, ws.factors, ws.out)
+							wk.roots(0, blk.NumNodes(0))
+						}
 					}
 				}
+				e.met.AddWorkerTime(w, time.Since(t0))
 			})
 		}
 		return
 	}
-	ws.shares = rootShares(e.csf, workers)
-	if len(ws.shares) <= 1 {
-		ws.shares = nil
+	// Unblocked path: root-slice ranges weighted by leaf count —
+	// distinct roots own distinct output rows, so any partition is
+	// race-free and bit-identical.
+	roots := e.csf.NumNodes(0)
+	end := rootLeafEnds(e.csf)
+	cum := func(i int) int64 { return end[i] }
+	shares := sched.Shares(roots, workers, cum)
+	if len(shares) <= 1 {
 		return
 	}
-	for w := range ws.shares {
+	nw := len(shares)
+	ws.q.InitStatic(shares)
+	if e.opts.Sched != sched.PolicyStatic {
+		ws.q.InitStealing(sched.StealChunks(roots, nw, cum), nw)
+	}
+	for w := 0; w < nw; w++ {
 		w := w
 		ws.runners = append(ws.runners, func() {
 			defer ws.wg.Done()
 			t0 := time.Now()
-			sh := ws.shares[w]
 			wk := ws.walkers[w]
 			wk.bind(e.csf, ws.factors, ws.out)
-			wk.roots(sh[0], sh[1])
+			for {
+				lo, hi, stolen, ok := ws.q.Next(w)
+				if !ok {
+					break
+				}
+				if stolen {
+					e.met.AddWorkerSteal(w)
+				}
+				wk.roots(lo, hi)
+			}
 			e.met.AddWorkerTime(w, time.Since(t0))
 		})
 	}
 }
 
-// rootShares splits the root slices into at most `workers` contiguous
-// ranges balanced by leaf (nonzero) count — distinct roots own distinct
-// output rows, so ranges are race-free. Returns nil when one worker
-// suffices.
-func rootShares(c *CSF, workers int) [][2]int {
+// rootLeafEnds returns end[x] = leaves under roots [0, x], by composing
+// the child pointers level by level (subtrees are contiguous at every
+// level) — the leaf-count weight function for the root partition.
+//
+//spblock:coldpath
+func rootLeafEnds(c *CSF) []int64 {
 	roots := c.NumNodes(0)
-	if workers > roots {
-		workers = roots
-	}
-	if workers <= 1 || roots == 0 {
-		return nil
-	}
 	n := c.Order()
-	// end[x] = leaves under roots [0, x], by composing the child
-	// pointers level by level (subtrees are contiguous at every level).
 	end := make([]int64, roots)
 	for x := 0; x < roots; x++ {
 		p := int32(x + 1)
@@ -240,20 +266,21 @@ func rootShares(c *CSF, workers int) [][2]int {
 		}
 		end[x] = int64(p)
 	}
-	total := end[roots-1]
-	shares := make([][2]int, 0, workers)
-	lo := 0
-	for w := 1; w <= workers && lo < roots; w++ {
-		target := total * int64(w) / int64(workers)
-		hi := lo + 1
-		for hi < roots && end[hi-1] < target {
-			hi++
+	return end
+}
+
+// layerCum returns the cumulative-nonzero weight function over the
+// blocked tensor's root-mode layers, for nnz-balanced steal chunks.
+//
+//spblock:coldpath
+func layerCum(layers [][]*CSF) func(int) int64 {
+	prefix := make([]int64, len(layers))
+	var total int64
+	for li, layer := range layers {
+		for _, blk := range layer {
+			total += int64(blk.NNZ())
 		}
-		shares = append(shares, [2]int{lo, hi})
-		lo = hi
+		prefix[li] = total
 	}
-	if len(shares) <= 1 {
-		return nil
-	}
-	return shares
+	return func(i int) int64 { return prefix[i] }
 }

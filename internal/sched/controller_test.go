@@ -1,0 +1,67 @@
+package sched
+
+import "testing"
+
+// TestControllerPromotesAfterPatience: the controller ignores
+// imbalance spikes shorter than its patience window and fires exactly
+// once when the threshold holds.
+func TestControllerPromotesAfterPatience(t *testing.T) {
+	c := NewController(ControllerConfig{PromoteAbove: 1.25, Patience: 3})
+	// Two breaches, then a calm run: streak must reset.
+	for _, imb := range []float64{1.5, 1.5, 1.0} {
+		if c.Observe(imb) {
+			t.Fatalf("promoted on interrupted streak at imbalance %v", imb)
+		}
+	}
+	// Three consecutive breaches: fires on the third.
+	if c.Observe(1.3) || c.Observe(1.3) {
+		t.Fatal("promoted before patience expired")
+	}
+	if !c.Observe(1.3) {
+		t.Fatal("did not promote after patience consecutive breaches")
+	}
+	if !c.Promoted() {
+		t.Fatal("Promoted() false after firing")
+	}
+}
+
+// TestControllerNeverThrashes pins the one-way ratchet: after
+// promotion, no observation — however balanced or however skewed —
+// produces another transition. Stealing lowers the measured imbalance,
+// so a symmetric controller would demote and re-promote forever; the
+// ratchet makes the post-promotion signal inert.
+func TestControllerNeverThrashes(t *testing.T) {
+	c := NewController(ControllerConfig{PromoteAbove: 1.2, Patience: 1})
+	if !c.Observe(2.0) {
+		t.Fatal("patience=1 controller did not promote on first breach")
+	}
+	for _, imb := range []float64{0.9, 1.0, 5.0, 1.0, 3.0} {
+		if c.Observe(imb) {
+			t.Fatalf("controller fired again at imbalance %v after promotion", imb)
+		}
+	}
+	if !c.Promoted() {
+		t.Fatal("ratchet lost its promoted state")
+	}
+}
+
+// TestControllerDefaults: the zero config picks the documented
+// defaults and behaves sanely at the threshold boundary.
+func TestControllerDefaults(t *testing.T) {
+	c := NewController(ControllerConfig{})
+	for i := 0; i < DefaultPatience-1; i++ {
+		if c.Observe(DefaultPromoteAbove) {
+			t.Fatalf("promoted after %d runs, patience is %d", i+1, DefaultPatience)
+		}
+	}
+	if !c.Observe(DefaultPromoteAbove) {
+		t.Fatal("threshold breach at exactly PromoteAbove did not count")
+	}
+	// Balanced work never promotes.
+	c = NewController(ControllerConfig{})
+	for i := 0; i < 100; i++ {
+		if c.Observe(1.0) {
+			t.Fatal("balanced runs promoted")
+		}
+	}
+}

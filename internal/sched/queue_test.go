@@ -1,0 +1,179 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+// drain claims everything worker w can reach and returns the covered
+// item ranges plus how many claims were steals.
+func drain(q *Queue, w int) (ranges [][2]int, steals int) {
+	for {
+		lo, hi, stolen, ok := q.Next(w)
+		if !ok {
+			return ranges, steals
+		}
+		if stolen {
+			steals++
+		}
+		ranges = append(ranges, [2]int{lo, hi})
+	}
+}
+
+// TestQueueStaticOwnShare: under the static layout each worker claims
+// exactly its own share, in order, and never steals — the pre-sched
+// assignment, bit for bit.
+func TestQueueStaticOwnShare(t *testing.T) {
+	shares := [][2]int{{0, 5}, {5, 9}, {9, 20}}
+	var q Queue
+	q.InitStatic(shares)
+	for run := 0; run < 3; run++ {
+		q.Reset()
+		for w, want := range shares {
+			got, steals := drain(&q, w)
+			if steals != 0 {
+				t.Fatalf("run %d worker %d stole %d chunks under static", run, w, steals)
+			}
+			if len(got) != 1 || got[0] != want {
+				t.Fatalf("run %d worker %d claimed %v, want [%v]", run, w, got, want)
+			}
+		}
+		// A worker beyond the share count finds nothing.
+		if got, _ := drain(&q, len(shares)); got != nil {
+			t.Fatalf("run %d extra worker claimed %v", run, got)
+		}
+	}
+}
+
+// TestQueueStaticShared: the shared single-segment form hands units
+// out in claim order to whoever asks — the historical MB layer
+// counter.
+func TestQueueStaticShared(t *testing.T) {
+	units := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}
+	var q Queue
+	q.InitStaticShared(units)
+	q.Reset()
+	seen := make(map[int]bool)
+	for i := 0; i < len(units); i++ {
+		lo, hi, stolen, ok := q.Next(i % 2)
+		if !ok || stolen {
+			t.Fatalf("claim %d: ok=%v stolen=%v", i, ok, stolen)
+		}
+		if hi != lo+1 || seen[lo] {
+			t.Fatalf("claim %d: bad or duplicate unit [%d,%d)", i, lo, hi)
+		}
+		seen[lo] = true
+	}
+	if _, _, _, ok := q.Next(0); ok {
+		t.Fatal("drained queue still handing out units")
+	}
+}
+
+// TestQueueStealExactlyOnce: under concurrent draining with stealing
+// active, every item is claimed exactly once per run. Run under -race
+// this also checks the claim protocol's memory discipline.
+func TestQueueStealExactlyOnce(t *testing.T) {
+	const n, workers = 503, 4
+	chunks := StealChunks(n, workers, func(i int) int64 { return int64(i + 1) })
+	var q Queue
+	q.InitStatic(Shares(n, workers, func(i int) int64 { return int64(i + 1) }))
+	q.InitStealing(chunks, workers)
+	q.SetStealing(true)
+	if !q.Stealing() {
+		t.Fatal("SetStealing(true) did not activate the stealing layout")
+	}
+	for run := 0; run < 5; run++ {
+		q.Reset()
+		claimed := make([][][2]int, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				claimed[w], _ = drain(&q, w)
+			}(w)
+		}
+		wg.Wait()
+		got := make([]int, n)
+		for _, rs := range claimed {
+			for _, r := range rs {
+				for i := r[0]; i < r[1]; i++ {
+					got[i]++
+				}
+			}
+		}
+		for i, c := range got {
+			if c != 1 {
+				t.Fatalf("run %d: item %d claimed %d times", run, i, c)
+			}
+		}
+	}
+}
+
+// TestQueueStealVictimScan: a worker whose own segment is empty steals
+// the rest of the queue, and the steals are flagged.
+func TestQueueStealVictimScan(t *testing.T) {
+	chunks := [][2]int{{0, 2}, {2, 4}, {4, 6}, {6, 8}}
+	var q Queue
+	q.InitStealing(chunks, 2) // segs: worker 0 -> chunks 0,1; worker 1 -> chunks 2,3
+	q.SetStealing(true)
+	q.Reset()
+	ranges, steals := drain(&q, 0)
+	if len(ranges) != 4 || steals != 2 {
+		t.Fatalf("lone worker claimed %v with %d steals, want all 4 chunks with 2 steals", ranges, steals)
+	}
+}
+
+// TestQueueSetStealingRequiresLayout: an executor that never built a
+// stealing layout (COO) cannot be promoted — the flip is ignored.
+func TestQueueSetStealingRequiresLayout(t *testing.T) {
+	var q Queue
+	q.InitStatic([][2]int{{0, 3}, {3, 6}})
+	q.SetStealing(true)
+	if q.Stealing() {
+		t.Fatal("queue without a stealing layout accepted promotion")
+	}
+	q.Reset()
+	if got, _ := drain(&q, 0); len(got) != 1 || got[0] != [2]int{0, 3} {
+		t.Fatalf("static claim after ignored promotion: %v", got)
+	}
+}
+
+// TestQueuePromotionBetweenRuns: the adaptive flip mid-lifetime — runs
+// before promotion behave statically, runs after drain the stealing
+// layout, with no re-initialisation in between.
+func TestQueuePromotionBetweenRuns(t *testing.T) {
+	n := 24
+	cum := func(i int) int64 { return int64(i + 1) }
+	var q Queue
+	q.InitStatic(Shares(n, 3, cum))
+	q.InitStealing(StealChunks(n, 3, cum), 3)
+
+	q.Reset()
+	covered := 0
+	for w := 0; w < 3; w++ {
+		rs, steals := drain(&q, w)
+		if steals != 0 {
+			t.Fatalf("pre-promotion worker %d stole", w)
+		}
+		for _, r := range rs {
+			covered += r[1] - r[0]
+		}
+	}
+	if covered != n {
+		t.Fatalf("static run covered %d of %d items", covered, n)
+	}
+
+	q.SetStealing(true)
+	q.Reset()
+	covered = 0
+	for w := 0; w < 3; w++ {
+		rs, _ := drain(&q, w)
+		for _, r := range rs {
+			covered += r[1] - r[0]
+		}
+	}
+	if covered != n {
+		t.Fatalf("post-promotion run covered %d of %d items", covered, n)
+	}
+}

@@ -1,0 +1,15 @@
+package sched
+
+// Replanner is the between-sweep replanning hook, mirroring als's
+// SweepStarter/SweepRecoverer extension pattern: an ALS kernel that
+// also implements Replanner is offered the gap after each successful,
+// non-final sweep to act on the metrics gathered so far — typically by
+// asking internal/autotune to re-cost the plan space under the
+// measured imbalance and rebuilding its executors on a layout or
+// scheduler the model now prefers. sweep is the 0-based index of the
+// sweep that just completed. Returning an error aborts the
+// decomposition; a kernel that merely decides not to replan returns
+// nil.
+type Replanner interface {
+	ReplanSweep(sweep int) error
+}

@@ -1,0 +1,124 @@
+package sched
+
+// This file is the one share-computation routine in the tree. Both
+// internal/core (CSF slice shares, nnz-weighted) and internal/nmode
+// (root shares, leaf-weighted) previously carried near-identical
+// greedy partitioners with the same defect: the greedy target
+// `total/workers` measured each share in isolation, so a heavy tail
+// item let an early share swallow the whole prefix and collapsed the
+// partition to a single degenerate share — the executor then ran
+// sequentially on exactly the skewed inputs parallelism matters for.
+// Shares fixes that by walking cumulative scaled targets (share w ends
+// at the item nearest total*w/workers), which bounds every share's
+// weight error by one item and can never produce fewer shares than the
+// weight distribution forces.
+
+// Shares partitions the items [0, n) into at most workers contiguous,
+// non-overlapping, non-empty ranges of approximately equal cumulative
+// weight. cum(i) must return the total weight of items [0, i] and be
+// non-decreasing; it is called O(n) times, so it should be O(1) (an
+// index into a prefix-sum array or CSF pointer level).
+//
+// Degenerate cases: n <= 0 returns nil; workers <= 1 returns the
+// single share {0, n}. When the weight mass is concentrated on fewer
+// than workers items, fewer than workers shares come back — callers
+// size their worker pool from len(shares).
+//
+//spblock:coldpath
+func Shares(n, workers int, cum func(int) int64) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return [][2]int{{0, n}}
+	}
+	total := cum(n - 1)
+	if total <= 0 {
+		// Weightless items (e.g. an all-empty slice range): fall back
+		// to a uniform item split.
+		return Shares(n, workers, func(i int) int64 { return int64(i + 1) })
+	}
+	shares := make([][2]int, 0, workers)
+	lo := 0
+	for w := 1; w <= workers && lo < n; w++ {
+		if w == workers {
+			shares = append(shares, [2]int{lo, n})
+			break
+		}
+		target := total * int64(w) / int64(workers)
+		// Advance to the first boundary at or past the scaled target...
+		hi := lo + 1
+		for hi < n && cum(hi-1) < target {
+			hi++
+		}
+		// ...then step back one item if the previous boundary sits
+		// closer to it. Without this, one heavy item just past the
+		// target drags the entire prefix into this share.
+		if hi-1 > lo && cum(hi-1)-target > target-cum(hi-2) {
+			hi--
+		}
+		shares = append(shares, [2]int{lo, hi})
+		lo = hi
+	}
+	return shares
+}
+
+// UniformChunks splits [0, n) into ceil(n/chunks)-sized ranges — the
+// historical nnzRanges split used by the COO executor, preserved
+// verbatim so COO's privatised-output reduction order (and therefore
+// its floating-point result) is unchanged. Returns nil when the split
+// degenerates to a single range.
+//
+//spblock:coldpath
+func UniformChunks(n, chunks int) [][2]int {
+	if chunks > n {
+		chunks = n
+	}
+	if chunks <= 1 {
+		return nil
+	}
+	size := (n + chunks - 1) / chunks
+	ranges := make([][2]int, 0, chunks)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		ranges = append(ranges, [2]int{lo, hi})
+	}
+	return ranges
+}
+
+// UnitRanges returns the n single-item ranges {i, i+1} — the unit list
+// for shared-queue layouts where one work unit is one multi-block
+// layer.
+//
+//spblock:coldpath
+func UnitRanges(n int) [][2]int {
+	units := make([][2]int, n)
+	for i := range units {
+		units[i] = [2]int{i, i + 1}
+	}
+	return units
+}
+
+// ChunksPerWorker is the work-stealing granularity: the stealing
+// layout carves roughly this many weight-balanced chunks per worker.
+// Small enough that a worker finishing early finds meaningful work to
+// steal, large enough that the per-chunk atomic claim stays noise
+// against the kernel work inside a chunk.
+const ChunksPerWorker = 8
+
+// StealChunks carves [0, n) into the stealing layout's chunk list:
+// up to workers*ChunksPerWorker weight-balanced contiguous ranges.
+//
+//spblock:coldpath
+func StealChunks(n, workers int, cum func(int) int64) [][2]int {
+	if workers < 1 {
+		workers = 1
+	}
+	return Shares(n, workers*ChunksPerWorker, cum)
+}

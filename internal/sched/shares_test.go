@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func cumOf(weights []int64) func(int) int64 {
+	prefix := make([]int64, len(weights))
+	var s int64
+	for i, w := range weights {
+		s += w
+		prefix[i] = s
+	}
+	return func(i int) int64 { return prefix[i] }
+}
+
+// checkPartition pins the share invariants the executors rely on:
+// shares cover exactly [0, n), are contiguous, non-overlapping,
+// non-empty, and never outnumber workers.
+func checkPartition(t *testing.T, shares [][2]int, n, workers int) {
+	t.Helper()
+	if n == 0 {
+		if shares != nil {
+			t.Fatalf("n=0: got %v, want nil", shares)
+		}
+		return
+	}
+	if len(shares) == 0 {
+		t.Fatalf("n=%d workers=%d: no shares", n, workers)
+	}
+	if len(shares) > workers && workers >= 1 {
+		t.Fatalf("n=%d workers=%d: %d shares exceed worker count", n, workers, len(shares))
+	}
+	lo := 0
+	for i, s := range shares {
+		if s[0] != lo {
+			t.Fatalf("share %d starts at %d, want %d (gap or overlap): %v", i, s[0], lo, shares)
+		}
+		if s[1] <= s[0] {
+			t.Fatalf("share %d empty: %v", i, shares)
+		}
+		lo = s[1]
+	}
+	if lo != n {
+		t.Fatalf("shares end at %d, want %d: %v", lo, n, shares)
+	}
+}
+
+func TestSharesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(200)
+		workers := rng.Intn(12) + 1
+		weights := make([]int64, n)
+		for i := range weights {
+			switch rng.Intn(3) {
+			case 0:
+				weights[i] = 0 // empty slices happen in real CSF
+			case 1:
+				weights[i] = int64(rng.Intn(10)) + 1
+			default:
+				weights[i] = int64(rng.Intn(1000)) + 1 // heavy tail
+			}
+		}
+		shares := Shares(n, workers, cumOf(weights))
+		checkPartition(t, shares, n, workers)
+	}
+}
+
+// TestSharesSkewRegression pins the fix for the historical greedy
+// partitioners: a heavy tail item made the greedy target swallow the
+// whole prefix into one share, silently serialising the executor. The
+// scaled-target walk must keep the partition parallel.
+func TestSharesSkewRegression(t *testing.T) {
+	shares := Shares(5, 2, cumOf([]int64{1, 1, 1, 1, 10}))
+	if len(shares) != 2 {
+		t.Fatalf("skewed tail collapsed to %v, want 2 shares", shares)
+	}
+	checkPartition(t, shares, 5, 2)
+
+	// Heavy head: the first share must stop at the heavy item instead
+	// of overshooting past the scaled target.
+	shares = Shares(5, 2, cumOf([]int64{10, 1, 1, 1, 1}))
+	if len(shares) != 2 || shares[0][1] != 1 {
+		t.Fatalf("heavy head: got %v, want [[0 1] [1 5]]", shares)
+	}
+}
+
+func TestSharesDegenerate(t *testing.T) {
+	cum := cumOf([]int64{3, 1, 4})
+	if got := Shares(0, 4, cum); got != nil {
+		t.Errorf("n=0: got %v", got)
+	}
+	if got := Shares(3, 1, cum); len(got) != 1 || got[0] != [2]int{0, 3} {
+		t.Errorf("workers=1: got %v, want [[0 3]]", got)
+	}
+	// More workers than items: one item per share.
+	got := Shares(3, 8, cum)
+	if len(got) != 3 {
+		t.Errorf("workers>n: got %v, want 3 unit shares", got)
+	}
+	checkPartition(t, got, 3, 8)
+	// All-zero weights fall back to a uniform item split.
+	got = Shares(8, 4, cumOf(make([]int64, 8)))
+	checkPartition(t, got, 8, 4)
+	if len(got) != 4 {
+		t.Errorf("weightless: got %v, want 4 uniform shares", got)
+	}
+}
+
+// TestUniformChunks pins the historical nnzRanges semantics the COO
+// executor's bit-identical reduction order depends on: ceil(n/chunks)
+// sized ranges, nil when the split is trivial.
+func TestUniformChunks(t *testing.T) {
+	if got := UniformChunks(10, 1); got != nil {
+		t.Errorf("chunks=1: got %v, want nil", got)
+	}
+	if got := UniformChunks(0, 4); got != nil {
+		t.Errorf("n=0: got %v, want nil", got)
+	}
+	got := UniformChunks(10, 4)
+	want := [][2]int{{0, 3}, {3, 6}, {6, 9}, {9, 10}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	checkPartition(t, got, 10, 4)
+}
+
+func TestStealChunksGranularity(t *testing.T) {
+	weights := make([]int64, 1000)
+	for i := range weights {
+		weights[i] = 1
+	}
+	chunks := StealChunks(1000, 4, cumOf(weights))
+	checkPartition(t, chunks, 1000, 4*ChunksPerWorker)
+	if len(chunks) != 4*ChunksPerWorker {
+		t.Errorf("uniform weights: got %d chunks, want %d", len(chunks), 4*ChunksPerWorker)
+	}
+}
