@@ -1,26 +1,33 @@
 // Command spblock-lint runs the spblock static-analysis suite — the
-// compile-time guards for the hot-path zero-allocation and
-// workspace-ownership contracts plus parallel-kernel hygiene — over the
-// requested packages.
+// compile-time guards for the hot-path zero-allocation,
+// workspace-ownership, atomic-discipline, fault-tolerance error-flow
+// and directive-coverage contracts plus parallel-kernel hygiene — over
+// the requested packages.
 //
 // Usage:
 //
-//	spblock-lint [-analyzers list] [packages]
+//	spblock-lint [-analyzers list] [-json] [packages]
 //
 // Packages default to ./... relative to the current directory. The
 // exit status is 1 when any diagnostic is reported, 2 on usage or load
-// errors. Diagnostics on lines carrying a reasoned //spblock:allow
-// comment are suppressed; see internal/analysis for the annotation
-// conventions.
+// errors. With -json the findings are written to stdout as a JSON
+// array of {analyzer, file, line, column, message} objects (an empty
+// array when clean), for CI artifact consumption. Diagnostics on lines
+// carrying a reasoned //spblock:allow comment are suppressed; see
+// internal/analysis for the annotation conventions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"spblock/internal/analysis"
+	"spblock/internal/analysis/atomicfield"
+	"spblock/internal/analysis/errdrop"
+	"spblock/internal/analysis/hotcover"
 	"spblock/internal/analysis/hotpathalloc"
 	"spblock/internal/analysis/kernelpar"
 	"spblock/internal/analysis/workspaceescape"
@@ -30,12 +37,25 @@ var all = []*analysis.Analyzer{
 	hotpathalloc.Analyzer,
 	workspaceescape.Analyzer,
 	kernelpar.Analyzer,
+	atomicfield.Analyzer,
+	errdrop.Analyzer,
+	hotcover.Analyzer,
+}
+
+// jsonDiag is one finding in -json output.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	names := flag.String("analyzers", "",
 		"comma-separated subset of analyzers to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	asJSON := flag.Bool("json", false, "write findings to stdout as a JSON array")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: spblock-lint [flags] [packages]\n")
 		flag.PrintDefaults()
@@ -77,8 +97,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spblock-lint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Printf("%s: [%s] %s\n", prog.Position(d.Pos), d.Analyzer, d.Message)
+	if *asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			pos := prog.Position(d.Pos)
+			out = append(out, jsonDiag{
+				Analyzer: d.Analyzer,
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Column:   pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "spblock-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: [%s] %s\n", prog.Position(d.Pos), d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)

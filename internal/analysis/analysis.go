@@ -103,6 +103,9 @@ type Program struct {
 
 	byPath map[string]*Package
 	funcs  map[*types.Func]*FuncSource
+	// graph is the program-wide call graph and directive index (see
+	// callgraph.go), built once after type checking.
+	graph *callGraph
 	// allows maps "file:line" to the allow-comment reason ("" = bare).
 	allows map[string]string
 	// bareAllows collects positions of reason-less allow comments.
@@ -151,6 +154,7 @@ func (p *Program) index() {
 			}
 		}
 	}
+	p.buildCallGraph()
 }
 
 // allowed reports whether a diagnostic at pos is suppressed by a

@@ -1,0 +1,187 @@
+// Package atomicfield enforces program-wide atomic access discipline:
+// a struct field that is accessed through the address-based sync/atomic
+// functions (atomic.AddInt64(&s.f, ...), atomic.LoadUint32(&s.f), ...)
+// anywhere in the module must never be read or written plainly anywhere
+// else in the module, outside construction and //spblock:coldpath
+// functions.
+//
+// This generalizes the per-package, per-function heuristic that
+// kernelpar used to carry: the scheduling layer (PR 7) claims
+// work-stealing chunks with atomics and the distributed runtime (PR 5)
+// publishes crash flags across goroutines, and the plain access that
+// races with those can live in a *different package* than the atomic
+// one — the facade reading a counter the executor bumps atomically, a
+// benchmark driver resetting a queue mid-run. Field identity is the
+// type-checker's *types.Var object on the shared program FileSet, so
+// the fixpoint is exact across package boundaries.
+//
+// Two escape hatches keep the contract honest rather than noisy:
+//
+//   - Construction: a composite literal (s := S{hits: 0}) initialises
+//     the field before the value is shared and is not a selector
+//     access, so it is naturally exempt; likewise package-level
+//     variable initializers and init functions run before any
+//     goroutine can observe the value.
+//
+//   - //spblock:coldpath functions: the annotated cold half of an
+//     executor (construction, amortised resizing, teardown) runs while
+//     the workers are quiescent — the same happens-before argument the
+//     pooled workspaces already rely on. A plain reset of an
+//     atomically-claimed cursor is legal there and only there.
+//
+// Individual lines elsewhere are waived with a reasoned
+// //spblock:allow comment, which the shared driver applies.
+//
+// The typed atomics (atomic.Int64, atomic.Bool, ...) are safe by
+// construction — their word is unexported, so a plain access cannot
+// compile — and are what new code should use; this analyzer exists to
+// guard the address-based style where raw-word mixing does compile.
+package atomicfield
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"spblock/internal/analysis"
+)
+
+// Analyzer is the atomicfield pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "forbid plain access, module-wide, of struct fields accessed through address-based sync/atomic (outside construction and coldpath functions)",
+	Run:  run,
+}
+
+func run(prog *analysis.Program) ([]analysis.Diagnostic, error) {
+	// Pass 1, program-wide: every field object reached by the address
+	// operand of an address-based sync/atomic call, with one witness
+	// position for the diagnostic text; and the selector expressions
+	// that *are* those atomic accesses, so pass 2 can skip them.
+	atomicFields := make(map[*types.Var]token.Pos)
+	atomicUses := make(map[ast.Expr]bool)
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAddrAtomicCall(pkg.Info, call) || len(call.Args) == 0 {
+					return true
+				}
+				operand := addrOperand(call.Args[0])
+				atomicUses[operand] = true
+				if fld, _, ok := fieldObject(pkg.Info, operand); ok {
+					if _, seen := atomicFields[fld]; !seen {
+						atomicFields[fld] = call.Pos()
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2, program-wide: plain selector accesses of those fields.
+	var diags []analysis.Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				// Only function bodies are scanned: package-level
+				// initializers run before main and are construction by
+				// definition.
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					// Cold functions and init run with the workers
+					// quiescent (or before they exist).
+					if prog.IsCold(fn) || fn.Name() == "init" {
+						continue
+					}
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok || atomicUses[sel] {
+						return true
+					}
+					fld, name, ok := fieldObject(pkg.Info, sel)
+					if !ok {
+						return true
+					}
+					atomicPos, isAtomic := atomicFields[fld]
+					if !isAtomic {
+						return true
+					}
+					diags = append(diags, analysis.Diagnostic{
+						Pos: sel.Pos(),
+						Message: fmt.Sprintf(
+							"plain access of field %s, which is accessed via sync/atomic at %s; use atomics, or move the access to a //spblock:coldpath function",
+							name, prog.Position(atomicPos)),
+					})
+					return true
+				})
+			}
+		}
+	}
+	return diags, nil
+}
+
+// fieldObject resolves expr to a struct field's object and its
+// "Type.field" display name if expr is a field selector with a named
+// base type.
+func fieldObject(info *types.Info, expr ast.Expr) (*types.Var, string, bool) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, "", false
+	}
+	fld, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil, "", false
+	}
+	t := s.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	name := fld.Name()
+	if named, ok := t.(*types.Named); ok {
+		name = named.Obj().Name() + "." + name
+	}
+	return fld, name, true
+}
+
+// addrOperand unwraps &expr to expr.
+func addrOperand(arg ast.Expr) ast.Expr {
+	if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+		return ast.Unparen(u.X)
+	}
+	return ast.Unparen(arg)
+}
+
+// isAddrAtomicCall reports whether call is one of the address-based
+// sync/atomic functions (atomic.AddInt64, atomic.LoadUint32, ...). The
+// typed atomics' methods have a named receiver, not a *T argument, and
+// are deliberately not matched.
+func isAddrAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false // typed-atomic method, safe by construction
+	}
+	name := fn.Name()
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"spblock/internal/analysis/analysistest"
+	"spblock/internal/analysis/atomicfield"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "spblock/internal/analysis/testdata/src/atomicfield",
+		atomicfield.Analyzer)
+}

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The program-wide call graph and directive index. Built once by
+// index() after type checking, shared by every analyzer that reasons
+// about reachability (hotpathalloc's zero-alloc traversal, hotcover's
+// directive-coverage and staleness passes) so they all agree on what
+// "reachable" means.
+//
+// Two edge relations are maintained:
+//
+//   - Callees: statically-dispatched calls only (direct calls of named
+//     functions and methods with bodies in the module). This is the
+//     conservative relation the hot-path contract traverses — a call
+//     through a function value or interface stops the contract at that
+//     edge, exactly like a call out of the module.
+//
+//   - Refs: every use of a module function's identifier, call or not.
+//     This is the liberal relation staleness detection needs: a kernel
+//     body registered in a dispatch table is never statically called,
+//     but it is referenced, and a reference keeps it (and its
+//     directives) alive.
+type callGraph struct {
+	// callees maps each module function with a body to its
+	// statically-dispatched module-local callees, in first-use order.
+	callees map[*types.Func][]*types.Func
+	// refs maps each module function with a body to every module
+	// function it references (including callees), in first-use order.
+	refs map[*types.Func][]*types.Func
+	// initRefs lists module functions referenced from package-level
+	// variable initializers — reachable the moment the package loads.
+	initRefs []*types.Func
+	// hot and cold record the //spblock:hotpath / coldpath directive on
+	// each declaration.
+	hot, cold map[*types.Func]bool
+	// hotOrder lists the hotpath-annotated functions in file order.
+	hotOrder []*types.Func
+	// declPos locates each directive-carrying declaration.
+	declPos map[*types.Func]token.Pos
+}
+
+// buildCallGraph populates the program's call graph and directive
+// index; index() calls it once, after the function index exists.
+func (p *Program) buildCallGraph() {
+	g := &callGraph{
+		callees: make(map[*types.Func][]*types.Func),
+		refs:    make(map[*types.Func][]*types.Func),
+		hot:     make(map[*types.Func]bool),
+		cold:    make(map[*types.Func]bool),
+		declPos: make(map[*types.Func]token.Pos),
+	}
+	p.graph = g
+	initSeen := make(map[*types.Func]bool)
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					fn, ok := pkg.Info.Defs[d.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					g.declPos[fn] = d.Pos()
+					if HasDirective(d.Doc, DirectiveHotpath) {
+						g.hot[fn] = true
+						g.hotOrder = append(g.hotOrder, fn)
+					}
+					if HasDirective(d.Doc, DirectiveColdpath) {
+						g.cold[fn] = true
+					}
+					if d.Body != nil {
+						p.collectEdges(pkg, fn, d.Body)
+					}
+				case *ast.GenDecl:
+					// Function references in package-level initializers
+					// (kernel registries, dispatch tables) count as
+					// load-time roots for reachability.
+					if d.Tok != token.VAR {
+						continue
+					}
+					for _, spec := range d.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for _, val := range vs.Values {
+							p.collectFuncUses(pkg, val, func(fn *types.Func) {
+								if !initSeen[fn] {
+									initSeen[fn] = true
+									g.initRefs = append(g.initRefs, fn)
+								}
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectEdges records fn's callee and reference edges from its body.
+func (p *Program) collectEdges(pkg *Package, fn *types.Func, body *ast.BlockStmt) {
+	g := p.graph
+	calleeSeen := make(map[*types.Func]bool)
+	refSeen := make(map[*types.Func]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if callee := Callee(pkg.Info, call); callee != nil {
+				if p.funcs[callee] != nil && !calleeSeen[callee] {
+					calleeSeen[callee] = true
+					g.callees[fn] = append(g.callees[fn], callee)
+				}
+			}
+		}
+		return true
+	})
+	p.collectFuncUses(pkg, body, func(used *types.Func) {
+		if !refSeen[used] {
+			refSeen[used] = true
+			g.refs[fn] = append(g.refs[fn], used)
+		}
+	})
+}
+
+// collectFuncUses walks node and reports every module-local function
+// whose identifier is used (called, stored, passed) within it.
+func (p *Program) collectFuncUses(pkg *Package, node ast.Node, emit func(*types.Func)) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if fn, ok := pkg.Info.Uses[id].(*types.Func); ok && p.funcs[fn] != nil {
+			emit(fn)
+		}
+		return true
+	})
+}
+
+// Callees returns fn's statically-dispatched module-local callees (only
+// functions whose bodies the program contains), in first-use order.
+// Calls through function values, interfaces and builtins carry no edge.
+func (p *Program) Callees(fn *types.Func) []*types.Func { return p.graph.callees[fn] }
+
+// RefFuncs returns every module-local function fn's body references —
+// called or used as a value — in first-use order.
+func (p *Program) RefFuncs(fn *types.Func) []*types.Func { return p.graph.refs[fn] }
+
+// InitRefs returns the module functions referenced from package-level
+// variable initializers (dispatch tables, registries): reachable as
+// soon as their package is linked in.
+func (p *Program) InitRefs() []*types.Func { return p.graph.initRefs }
+
+// HotFuncs returns the //spblock:hotpath-annotated functions in file
+// order — the roots of the hot-path contract traversals.
+func (p *Program) HotFuncs() []*types.Func { return p.graph.hotOrder }
+
+// IsHot reports whether fn's declaration carries //spblock:hotpath.
+func (p *Program) IsHot(fn *types.Func) bool { return p.graph.hot[fn] }
+
+// IsCold reports whether fn's declaration carries //spblock:coldpath.
+func (p *Program) IsCold(fn *types.Func) bool { return p.graph.cold[fn] }
+
+// DeclPos returns the declaration position of a module function, or
+// token.NoPos for functions outside the program.
+func (p *Program) DeclPos(fn *types.Func) token.Pos { return p.graph.declPos[fn] }
+
+// FuncDisplayName renders pkg.Func or pkg.Type.Method without the full
+// import path, for readable diagnostics.
+func FuncDisplayName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fn.Pkg().Name() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// refParseDirective is a naive reference implementation of
+// parseDirective: split the comment body at the first space or tab and
+// compare the leading token against the directive name, instead of the
+// production code's prefix-cut-then-inspect approach. The fuzz target
+// below cross-checks the two, so any divergence — a directive name
+// that prefix-matches another (hotpath vs a hypothetical hotpathfoo),
+// odd whitespace, truncated comments — is found mechanically.
+func refParseDirective(text, name string) (string, bool) {
+	body, ok := strings.CutPrefix(text, directivePrefix)
+	if !ok {
+		return "", false
+	}
+	tok, arg := body, ""
+	if i := strings.IndexAny(body, " \t"); i >= 0 {
+		tok, arg = body[:i], strings.TrimSpace(body[i+1:])
+	}
+	if tok != name {
+		return "", false
+	}
+	return arg, true
+}
+
+// directiveNames are the names parseDirective is ever called with.
+var directiveNames = []string{
+	DirectiveHotpath, DirectiveColdpath, DirectiveWorkspace, DirectiveAllow,
+}
+
+func FuzzParseDirectives(f *testing.F) {
+	for _, text := range []string{
+		"//spblock:hotpath",
+		"//spblock:hotpathalloc",
+		"//spblock:coldpath ",
+		"//spblock:allow reason with words",
+		"//spblock:allow\ttab separated",
+		"//spblock:allow \t mixed",
+		"//spblock:allow\nnewline",
+		"//spblock:workspace trailing  ",
+		"// spblock:hotpath",
+		"//spblock:",
+		"//spblock",
+		"plain comment",
+		"",
+	} {
+		for i := range directiveNames {
+			f.Add(text, i)
+		}
+	}
+	f.Fuzz(func(t *testing.T, text string, nameIdx int) {
+		if nameIdx < 0 {
+			nameIdx = -nameIdx
+		}
+		name := directiveNames[nameIdx%len(directiveNames)]
+		arg, ok := parseDirective(text, name)
+		refArg, refOK := refParseDirective(text, name)
+		if ok != refOK || arg != refArg {
+			t.Fatalf("parseDirective(%q, %q) = (%q, %v), reference = (%q, %v)",
+				text, name, arg, ok, refArg, refOK)
+		}
+	})
+}

@@ -1,0 +1,152 @@
+// Package errdrop enforces error flow out of the fault-tolerance APIs:
+// every error-returning call into internal/mpi, internal/dist or
+// internal/als must have its error checked or propagated. A dropped
+// error there is not a style problem — the reliability protocol (PR 5)
+// reports rank crashes, checksum corruption and retry exhaustion
+// exclusively through returned errors, so discarding one silently
+// converts a detected fault into a wrong answer.
+//
+// Three discard shapes are flagged, module-wide:
+//
+//   - a call statement whose results are all dropped
+//     (c.Barrier() as a statement);
+//
+//   - a blank identifier at the error result position
+//     (rows, _ := c.Recv(...); _ = c.Barrier());
+//
+//   - go and defer statements, whose return values Go itself discards
+//     (go c.Barrier(), defer comm.Send(...)).
+//
+// A site that drops an error deliberately — a best-effort drain on a
+// teardown path, say — is waived with a reasoned //spblock:allow
+// comment, which the shared driver applies; the reason is mandatory.
+package errdrop
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"spblock/internal/analysis"
+)
+
+// Analyzer is the errdrop pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "forbid dropping errors returned by internal/mpi, internal/dist and internal/als fault-tolerance APIs",
+	Run:  run,
+}
+
+// targetPkgs are the fault-tolerance packages whose returned errors
+// carry the reliability protocol.
+var targetPkgs = map[string]bool{
+	"spblock/internal/mpi":  true,
+	"spblock/internal/dist": true,
+	"spblock/internal/als":  true,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func run(prog *analysis.Program) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	report := func(call *ast.CallExpr, fn *types.Func, how string) {
+		diags = append(diags, analysis.Diagnostic{
+			Pos: call.Pos(),
+			Message: fmt.Sprintf(
+				"error from %s %s; check it, propagate it, or waive with //spblock:allow <reason>",
+				analysis.FuncDisplayName(fn), how),
+		})
+	}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			info := pkg.Info
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						if fn := targetCall(info, call); fn != nil {
+							report(call, fn, "discarded by call statement")
+						}
+					}
+				case *ast.GoStmt:
+					if fn := targetCall(info, n.Call); fn != nil {
+						report(n.Call, fn, "dropped by go statement")
+					}
+				case *ast.DeferStmt:
+					if fn := targetCall(info, n.Call); fn != nil {
+						report(n.Call, fn, "dropped by defer")
+					}
+				case *ast.AssignStmt:
+					checkAssign(info, n, report)
+				}
+				return true
+			})
+		}
+	}
+	return diags, nil
+}
+
+// checkAssign flags blank identifiers bound to the error results of
+// target calls, in both the tuple form (rows, _ := c.Recv(...)) and the
+// 1:1 form (_ = c.Barrier()).
+func checkAssign(info *types.Info, assign *ast.AssignStmt, report func(*ast.CallExpr, *types.Func, string)) {
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := targetCall(info, call)
+		if fn == nil {
+			return
+		}
+		sig := fn.Type().(*types.Signature)
+		for i := 0; i < sig.Results().Len() && i < len(assign.Lhs); i++ {
+			if !isError(sig.Results().At(i).Type()) {
+				continue
+			}
+			if isBlank(assign.Lhs[i]) {
+				report(call, fn, "discarded with _")
+			}
+		}
+		return
+	}
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i, rhs := range assign.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBlank(assign.Lhs[i]) {
+			continue
+		}
+		if fn := targetCall(info, call); fn != nil {
+			report(call, fn, "discarded with _")
+		}
+	}
+}
+
+// targetCall resolves call to its static callee and returns it when the
+// callee is declared in a fault-tolerance package (including interface
+// methods such as als.Kernel.MTTKRP) and returns an error.
+func targetCall(info *types.Info, call *ast.CallExpr) *types.Func {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || !targetPkgs[fn.Pkg().Path()] {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isError(sig.Results().At(i).Type()) {
+			return fn
+		}
+	}
+	return nil
+}
+
+func isError(t types.Type) bool { return types.Identical(t, errorType) }
+
+func isBlank(expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	return ok && id.Name == "_"
+}

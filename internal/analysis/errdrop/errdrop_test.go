@@ -1,0 +1,13 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"spblock/internal/analysis/analysistest"
+	"spblock/internal/analysis/errdrop"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "spblock/internal/analysis/testdata/src/errdrop",
+		errdrop.Analyzer)
+}

@@ -1,0 +1,172 @@
+// Package hotcover detects directive drift in both directions: code
+// that slipped into the hot-path contract without saying so, and
+// directives that outlived the code they described.
+//
+//   - Coverage: every function reachable from a //spblock:hotpath root
+//     through statically-dispatched calls must itself carry
+//     //spblock:hotpath or //spblock:coldpath. hotpathalloc already
+//     checks such functions for allocating constructs, but silently —
+//     a helper extracted from a kernel inherits the contract without
+//     its author ever being told, and the first sign is a lint failure
+//     three PRs later. Requiring the annotation makes the contract
+//     visible at the declaration and forces the hot/cold decision at
+//     the moment the function is written.
+//
+//   - Staleness: a function carrying //spblock:hotpath or
+//     //spblock:coldpath that is no longer reachable from any entry
+//     point is dead contract: the directive documents a hot loop that
+//     no executor runs anymore. Reachability here is deliberately
+//     liberal — the roots are every exported function or method, main
+//     and init, plus functions referenced from package-level variable
+//     initializers (the width-specialized kernel registry, the scalar
+//     fallback strip table), and the edges are all identifier uses,
+//     not just calls, so a kernel that is only ever dispatched through
+//     a table is still live.
+//
+// The two passes share the program's call graph with hotpathalloc, so
+// "reachable from a hot root" means exactly the same thing to both
+// analyzers.
+package hotcover
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"spblock/internal/analysis"
+)
+
+// Analyzer is the hotcover pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotcover",
+	Doc:  "require hotpath/coldpath directives on functions reachable from hot roots, and flag stale directives on unreachable functions",
+	Run:  run,
+}
+
+func run(prog *analysis.Program) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+
+	// Pass 1 — coverage. BFS over static call edges from the hot roots,
+	// stopping at coldpath functions (they end the contract); every
+	// reached function without a directive is drift.
+	via := make(map[*types.Func]string)
+	queue := make([]*types.Func, 0, 64)
+	for _, fn := range prog.HotFuncs() {
+		if _, seen := via[fn]; seen {
+			continue
+		}
+		via[fn] = analysis.FuncDisplayName(fn)
+		queue = append(queue, fn)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if !prog.IsHot(fn) && !prog.IsCold(fn) {
+			diags = append(diags, analysis.Diagnostic{
+				Pos: prog.DeclPos(fn),
+				Message: fmt.Sprintf(
+					"%s is reachable from //spblock:hotpath %s but carries no //spblock:hotpath or //spblock:coldpath directive",
+					analysis.FuncDisplayName(fn), via[fn]),
+			})
+		}
+		for _, callee := range prog.Callees(fn) {
+			if prog.IsCold(callee) {
+				continue
+			}
+			if _, seen := via[callee]; seen {
+				continue
+			}
+			via[callee] = via[fn]
+			queue = append(queue, callee)
+		}
+	}
+
+	// Pass 2 — staleness. BFS over reference edges from every entry
+	// point; a directive-carrying function the traversal never reaches
+	// documents a hot (or cold) path that no longer exists.
+	live := make(map[*types.Func]bool)
+	queue = queue[:0]
+	enqueue := func(fn *types.Func) {
+		if !live[fn] {
+			live[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for _, pkg := range prog.Packages {
+		for fn := range entryPoints(prog, pkg) {
+			enqueue(fn)
+		}
+	}
+	for _, fn := range prog.InitRefs() {
+		enqueue(fn)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, ref := range prog.RefFuncs(fn) {
+			enqueue(ref)
+		}
+	}
+	for _, pkg := range prog.Packages {
+		for _, fn := range directiveFuncs(prog, pkg) {
+			if live[fn] {
+				continue
+			}
+			dir := analysis.DirectiveHotpath
+			if prog.IsCold(fn) {
+				dir = analysis.DirectiveColdpath
+			}
+			diags = append(diags, analysis.Diagnostic{
+				Pos: prog.DeclPos(fn),
+				Message: fmt.Sprintf(
+					"stale //spblock:%s directive: %s is not reachable from any entry point",
+					dir, analysis.FuncDisplayName(fn)),
+			})
+		}
+	}
+	return diags, nil
+}
+
+// entryPoints yields the functions of pkg that are reachable from
+// outside the module's static call graph: exported functions and
+// methods (an exported method on an unexported type counts — it is how
+// interface implementations like distKernel.MTTKRP are entered), main,
+// and init.
+func entryPoints(prog *analysis.Program, pkg *analysis.Package) map[*types.Func]bool {
+	roots := make(map[*types.Func]bool)
+	for _, fn := range moduleFuncs(prog, pkg) {
+		name := fn.Name()
+		if fn.Exported() || name == "main" || name == "init" {
+			roots[fn] = true
+		}
+	}
+	return roots
+}
+
+// directiveFuncs returns pkg's functions that carry a hotpath or
+// coldpath directive, in declaration order.
+func directiveFuncs(prog *analysis.Program, pkg *analysis.Package) []*types.Func {
+	var fns []*types.Func
+	for _, fn := range moduleFuncs(prog, pkg) {
+		if prog.IsHot(fn) || prog.IsCold(fn) {
+			fns = append(fns, fn)
+		}
+	}
+	return fns
+}
+
+// moduleFuncs lists pkg's declared functions (with bodies) in file
+// order.
+func moduleFuncs(prog *analysis.Program, pkg *analysis.Package) []*types.Func {
+	var fns []*types.Func
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					fns = append(fns, fn)
+				}
+			}
+		}
+	}
+	return fns
+}

@@ -1,0 +1,13 @@
+package hotcover_test
+
+import (
+	"testing"
+
+	"spblock/internal/analysis/analysistest"
+	"spblock/internal/analysis/hotcover"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "spblock/internal/analysis/testdata/src/hotcover",
+		hotcover.Analyzer)
+}

@@ -41,33 +41,12 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(prog *analysis.Program) ([]analysis.Diagnostic, error) {
-	// Roots: annotated declarations. Cold: explicitly excluded ones.
-	roots := make([]*types.Func, 0, 64)
-	cold := make(map[*types.Func]bool)
-	for _, pkg := range prog.Packages {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok {
-					continue
-				}
-				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				hot := analysis.HasDirective(fd.Doc, analysis.DirectiveHotpath)
-				if analysis.HasDirective(fd.Doc, analysis.DirectiveColdpath) {
-					if hot {
-						return nil, fmt.Errorf("%s: %s is both hotpath and coldpath",
-							prog.Position(fd.Pos()), fn.FullName())
-					}
-					cold[fn] = true
-					continue
-				}
-				if hot {
-					roots = append(roots, fn)
-				}
-			}
+	// Roots and the coldpath exclusions come from the program's shared
+	// directive index; the traversal follows its static call graph.
+	for _, fn := range prog.HotFuncs() {
+		if prog.IsCold(fn) {
+			return nil, fmt.Errorf("%s: %s is both hotpath and coldpath",
+				prog.Position(prog.DeclPos(fn)), fn.FullName())
 		}
 	}
 
@@ -75,8 +54,8 @@ func run(prog *analysis.Program) ([]analysis.Diagnostic, error) {
 	// via[fn] names the hot root whose traversal first reached fn, for
 	// diagnostic context.
 	via := make(map[*types.Func]string)
-	queue := make([]*types.Func, 0, len(roots))
-	for _, fn := range roots {
+	queue := make([]*types.Func, 0, 64)
+	for _, fn := range prog.HotFuncs() {
 		if _, seen := via[fn]; seen {
 			continue
 		}
@@ -92,8 +71,8 @@ func run(prog *analysis.Program) ([]analysis.Diagnostic, error) {
 		}
 		c := &checker{prog: prog, pkg: src.Pkg, fn: fn, root: via[fn]}
 		diags = append(diags, c.check(src.Decl.Body)...)
-		for _, callee := range c.callees {
-			if cold[callee] {
+		for _, callee := range prog.Callees(fn) {
+			if prog.IsCold(callee) {
 				continue
 			}
 			if _, seen := via[callee]; seen {
@@ -108,21 +87,7 @@ func run(prog *analysis.Program) ([]analysis.Diagnostic, error) {
 
 // shortName renders pkg.Func or pkg.(Recv).Method without the full
 // import path, for readable diagnostics.
-func shortName(fn *types.Func) string {
-	if fn.Pkg() == nil {
-		return fn.Name()
-	}
-	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
-		t := recv.Type()
-		if p, ok := t.(*types.Pointer); ok {
-			t = p.Elem()
-		}
-		if named, ok := t.(*types.Named); ok {
-			return fmt.Sprintf("%s.%s.%s", fn.Pkg().Name(), named.Obj().Name(), fn.Name())
-		}
-	}
-	return fmt.Sprintf("%s.%s", fn.Pkg().Name(), fn.Name())
-}
+func shortName(fn *types.Func) string { return analysis.FuncDisplayName(fn) }
 
 // checker scans one reached function body.
 type checker struct {
@@ -130,7 +95,6 @@ type checker struct {
 	pkg        *analysis.Package
 	fn         *types.Func
 	root       string
-	callees    []*types.Func
 	calledFuns map[ast.Expr]bool
 	diags      []analysis.Diagnostic
 }
@@ -204,12 +168,8 @@ func (c *checker) checkCall(call *ast.CallExpr) {
 			return
 		}
 	}
-	// Static callees continue the traversal.
-	if callee := analysis.Callee(info, call); callee != nil {
-		if c.prog.FuncSource(callee) != nil {
-			c.callees = append(c.callees, callee)
-		}
-	}
+	// Static callees continue the traversal through the program's
+	// shared call graph (prog.Callees); nothing to collect here.
 	// Implicit interface boxing of concrete arguments.
 	sig, ok := info.Types[call.Fun].Type.Underlying().(*types.Signature)
 	if !ok {

@@ -18,12 +18,10 @@
 //     races with the corresponding Wait); `wg.Add` with a negative
 //     constant is always a bug.
 //
-//   - Atomic/plain mixing: a struct field that is accessed through
-//     sync/atomic address-based functions anywhere in a package must
-//     not also be read or written as a plain field elsewhere in that
-//     package. (The typed atomics — atomic.Int64 et al. — are immune by
-//     construction and are what the block-layer queue uses; this check
-//     guards the address-based style.)
+// The atomic/plain field-mixing check this package used to carry moved
+// to the program-wide atomicfield analyzer, which tracks field identity
+// across package boundaries instead of per package; kernelpar keeps the
+// goroutine-shape checks only so the same site is never double-reported.
 package kernelpar
 
 import (
@@ -32,7 +30,6 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
-	"strings"
 
 	"spblock/internal/analysis"
 )
@@ -40,7 +37,7 @@ import (
 // Analyzer is the kernelpar pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "kernelpar",
-	Doc:  "parallel-kernel hygiene: loop-var capture in goroutines, WaitGroup pairing, atomic/plain field mixing",
+	Doc:  "parallel-kernel hygiene: loop-var capture in goroutines, WaitGroup pairing",
 	Run:  run,
 }
 
@@ -68,34 +65,13 @@ func (c *checker) report(pos token.Pos, format string, args ...any) {
 }
 
 func (c *checker) checkPackage() {
-	// Pass 1: collect (struct type, field) pairs accessed atomically by
-	// address anywhere in the package.
-	atomicFields := make(map[string]token.Pos)
 	for _, file := range c.pkg.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok || !isAddrAtomicCall(c.pkg.Info, call) || len(call.Args) == 0 {
-				return true
-			}
-			if key, ok := c.fieldKey(addrOperand(call.Args[0])); ok {
-				atomicFields[key] = call.Pos()
-			}
-			return true
-		})
-	}
-
-	for _, file := range c.pkg.Files {
-		// Pass 2: goroutine hygiene.
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
 			c.checkGoroutines(fd.Body)
-		}
-		// Pass 3: plain accesses of atomically-accessed fields.
-		if len(atomicFields) > 0 {
-			c.checkPlainAccess(file, atomicFields)
 		}
 	}
 }
@@ -207,84 +183,6 @@ func (c *checker) checkGoClosure(lit *ast.FuncLit, loopVars map[types.Object]tok
 		}
 		return true
 	})
-}
-
-// checkPlainAccess flags non-atomic reads/writes of fields that the
-// package elsewhere accesses via address-based sync/atomic calls.
-func (c *checker) checkPlainAccess(file *ast.File, atomicFields map[string]token.Pos) {
-	info := c.pkg.Info
-	// Selector expressions consumed by &x.f arguments of atomic calls
-	// are the atomic accesses themselves; collect them to skip.
-	atomicUses := make(map[ast.Expr]bool)
-	ast.Inspect(file, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if ok && isAddrAtomicCall(info, call) && len(call.Args) > 0 {
-			atomicUses[addrOperand(call.Args[0])] = true
-		}
-		return true
-	})
-	ast.Inspect(file, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok || atomicUses[sel] {
-			return true
-		}
-		key, ok := c.fieldKey(sel)
-		if !ok {
-			return true
-		}
-		if atomicPos, isAtomic := atomicFields[key]; isAtomic {
-			c.report(sel.Pos(),
-				"plain access of field %s, which is accessed atomically at %s",
-				key, c.prog.Position(atomicPos))
-		}
-		return true
-	})
-}
-
-// fieldKey names a struct field access as "Type.field" if expr is a
-// field selector with a named struct base.
-func (c *checker) fieldKey(expr ast.Expr) (string, bool) {
-	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
-	if !ok {
-		return "", false
-	}
-	s, ok := c.pkg.Info.Selections[sel]
-	if !ok || s.Kind() != types.FieldVal {
-		return "", false
-	}
-	t := s.Recv()
-	if p, ok := t.Underlying().(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok {
-		return "", false
-	}
-	return named.Obj().Name() + "." + sel.Sel.Name, true
-}
-
-// addrOperand unwraps &expr to expr.
-func addrOperand(arg ast.Expr) ast.Expr {
-	if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
-		return ast.Unparen(u.X)
-	}
-	return ast.Unparen(arg)
-}
-
-// isAddrAtomicCall reports whether call is one of the address-based
-// sync/atomic functions (atomic.AddInt64, atomic.LoadUint32, ...).
-func isAddrAtomicCall(info *types.Info, call *ast.CallExpr) bool {
-	fn := analysis.Callee(info, call)
-	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
-		return false
-	}
-	name := fn.Name()
-	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
-		if strings.HasPrefix(name, prefix) {
-			return true
-		}
-	}
-	return false
 }
 
 // wgMethod returns "Add"/"Done"/"Wait" when call is that method on a

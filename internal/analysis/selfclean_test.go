@@ -4,16 +4,22 @@ import (
 	"testing"
 
 	"spblock/internal/analysis"
+	"spblock/internal/analysis/atomicfield"
+	"spblock/internal/analysis/errdrop"
+	"spblock/internal/analysis/hotcover"
 	"spblock/internal/analysis/hotpathalloc"
 	"spblock/internal/analysis/kernelpar"
 	"spblock/internal/analysis/workspaceescape"
 )
 
 // TestRepoSelfClean locks in the repo-wide contract: the annotated hot
-// paths, workspace types and worker machinery must produce zero
-// diagnostics. A regression here means either a kernel picked up an
-// allocating construct / escape / parallelism hazard, or an analyzer
-// grew a false positive — both are bugs.
+// paths, workspace types, worker machinery, atomically-published
+// fields, fault-tolerance error flow and directive coverage must
+// produce zero diagnostics under the full six-analyzer suite. A
+// regression here means either the module picked up an allocating
+// construct / escape / parallelism hazard / race / dropped error /
+// directive drift, or an analyzer grew a false positive — both are
+// bugs.
 func TestRepoSelfClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short")
@@ -26,6 +32,9 @@ func TestRepoSelfClean(t *testing.T) {
 		hotpathalloc.Analyzer,
 		workspaceescape.Analyzer,
 		kernelpar.Analyzer,
+		atomicfield.Analyzer,
+		errdrop.Analyzer,
+		hotcover.Analyzer,
 	})
 	if err != nil {
 		t.Fatalf("running analyzers: %v", err)

@@ -1,0 +1,50 @@
+// Package afgold is the atomicfield golden package: this file must stay
+// diagnostic-free, dirty.go seeds the violations.
+package afgold
+
+import "sync/atomic"
+
+// typedQueue uses a typed atomic: the word is unexported, plain access
+// cannot compile, and the analyzer deliberately ignores it.
+type typedQueue struct {
+	next atomic.Int64
+}
+
+func typedClaim(q *typedQueue) int64 {
+	return q.next.Add(1) - 1
+}
+
+// seed is constructed through a composite literal: initialising flag
+// before the value is shared is not a selector access and stays exempt,
+// as does the package-level initializer reading it below.
+var seed = gauge{flag: 1}
+
+func construct() *gauge {
+	return &gauge{flag: 0, hits: 0}
+}
+
+// resetCold runs with the workers quiescent; the coldpath directive
+// makes the plain reset legal.
+//
+//spblock:coldpath
+func resetCold(g *gauge) {
+	g.flag = 0
+	g.hits = 0
+}
+
+// init runs before any goroutine can observe the value.
+func init() {
+	seed.hits = 0
+}
+
+// atomicRead is the correct hot-path read: the operand of the atomic
+// call is the atomic access itself, not a plain one.
+func atomicRead(g *gauge) uint32 {
+	return atomic.LoadUint32(&g.flag)
+}
+
+// waived carries a reasoned allow: the shared driver suppresses the
+// finding on that line.
+func waived(g *gauge) int64 {
+	return g.hits //spblock:allow single-writer phase, workers joined
+}

@@ -1,0 +1,41 @@
+package afgold
+
+import "sync/atomic"
+
+// gauge.flag is published with address-based sync/atomic calls, so
+// every plain access of the field outside construction and coldpath
+// functions is a race, module-wide.
+type gauge struct {
+	flag uint32
+	hits int64
+}
+
+func (g *gauge) trip() {
+	atomic.StoreUint32(&g.flag, 1)
+}
+
+func (g *gauge) bump() {
+	atomic.AddInt64(&g.hits, 1)
+}
+
+func tripped(g *gauge) bool {
+	return g.flag != 0 // want `plain access of field gauge.flag`
+}
+
+// resetPlain clears the flag without the workers quiescent: writes mix
+// with the atomic publication exactly like reads do.
+func resetPlain(g *gauge) {
+	g.flag = 0 // want `plain access of field gauge.flag`
+}
+
+// crossFunction shows the fixpoint is program-wide, not per-function:
+// this function never touches sync/atomic itself, yet the plain read
+// still races with trip's atomic store.
+func crossFunction(g *gauge) int64 {
+	return g.hits // want `plain access of field gauge.hits`
+}
+
+// compoundPlain mixes through a compound assignment.
+func compoundPlain(g *gauge) {
+	g.hits += 2 // want `plain access of field gauge.hits`
+}

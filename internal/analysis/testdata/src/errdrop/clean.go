@@ -1,0 +1,40 @@
+// Package edgold is the errdrop golden package: this file must stay
+// diagnostic-free, dirty.go seeds the violations.
+package edgold
+
+import (
+	"fmt"
+
+	"spblock/internal/mpi"
+)
+
+// checked handles the error on the spot.
+func checked(c *mpi.Comm) error {
+	if err := c.Barrier(); err != nil {
+		return fmt.Errorf("sync: %w", err)
+	}
+	return nil
+}
+
+// propagated returns the error directly.
+func propagated(c *mpi.Comm, data []float64) error {
+	return c.Send(1, 1, data)
+}
+
+// blankData discards the payload but keeps the error: only the error
+// result position is guarded.
+func blankData(c *mpi.Comm) error {
+	_, err := c.Recv(0, 1)
+	return err
+}
+
+// waived drops deliberately, with the mandatory reason.
+func waived(c *mpi.Comm) {
+	c.Barrier() //spblock:allow best-effort drain on a teardown path
+}
+
+// noError calls a fault-tolerance API with no error result; nothing to
+// drop.
+func noError(err error) int {
+	return len(mpi.CrashedRanks(err))
+}

@@ -1,0 +1,42 @@
+package edgold
+
+import (
+	"spblock/internal/als"
+	"spblock/internal/la"
+	"spblock/internal/mpi"
+)
+
+// Every shape of dropped fault-tolerance error, against the real APIs:
+// the goldens import internal/mpi and internal/als themselves so the
+// analyzer is proven against the signatures the module actually ships.
+
+func dropStatement(c *mpi.Comm) {
+	c.Barrier() // want `error from mpi.Comm.Barrier discarded by call statement`
+}
+
+func dropBlankTuple(c *mpi.Comm) []float64 {
+	rows, _ := c.Recv(0, 1) // want `error from mpi.Comm.Recv discarded with _`
+	return rows
+}
+
+func dropBlankSingle(c *mpi.Comm, data []float64) {
+	_ = c.Send(1, 1, data) // want `error from mpi.Comm.Send discarded with _`
+}
+
+func dropGo(c *mpi.Comm) {
+	go c.Barrier() // want `error from mpi.Comm.Barrier dropped by go statement`
+}
+
+func dropDefer(c *mpi.Comm) {
+	defer c.Barrier() // want `error from mpi.Comm.Barrier dropped by defer`
+}
+
+func dropRun(body func(*mpi.Comm) error) {
+	mpi.Run(2, mpi.CostModel{}, body) // want `error from mpi.Run discarded by call statement`
+}
+
+// dropKernel drops through an interface method: the callee resolves to
+// als.Kernel.MTTKRP even though the dynamic kernel is unknown.
+func dropKernel(k als.Kernel, factors []*la.Matrix, out *la.Matrix) {
+	k.MTTKRP(0, factors, out) // want `error from als.Kernel.MTTKRP discarded by call statement`
+}

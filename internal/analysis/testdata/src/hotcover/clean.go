@@ -1,0 +1,53 @@
+// Package hcgold is the hotcover golden package: this file must stay
+// diagnostic-free, dirty.go seeds the violations.
+package hcgold
+
+// teardown ends the hot-path contract explicitly: coverage stops at a
+// coldpath function, and the reference from Kernel keeps it live.
+//
+//spblock:coldpath
+func teardown(s float64) {
+	_ = s
+}
+
+// Scale is a hot root whose whole chain carries directives.
+//
+//spblock:hotpath
+func Scale(xs []float64, a float64) {
+	for i := range xs {
+		xs[i] = scaledMul(xs[i], a)
+	}
+}
+
+// scaledMul is annotated itself: covered, and live through Scale.
+//
+//spblock:hotpath
+func scaledMul(x, a float64) float64 {
+	return x * a
+}
+
+// table is the registry pattern: tableKernel is never statically
+// called, but the package-level initializer reference keeps it (and
+// its directive) live.
+var table = [...]func(float64) float64{tableKernel}
+
+//spblock:hotpath
+func tableKernel(x float64) float64 {
+	return x + 1
+}
+
+// Dispatch calls through a function value: no static call edge exists,
+// but the identifier use of valueKernel is a liveness edge.
+func Dispatch(x float64) float64 {
+	f := valueKernel
+	return f(x)
+}
+
+//spblock:hotpath
+func valueKernel(x float64) float64 {
+	return 2 * x
+}
+
+// plainDead is unreachable but carries no directive: dead code is the
+// compiler's business, not directive drift.
+func plainDead() {}

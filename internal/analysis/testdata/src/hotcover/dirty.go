@@ -1,0 +1,37 @@
+package hcgold
+
+// Kernel is a hot root: helper and deep inherit the allocation
+// contract through the static call chain but never say so — the drift
+// hotcover exists to catch.
+//
+//spblock:hotpath
+func Kernel(xs []float64) float64 {
+	s := 0.0
+	for i := range xs {
+		s += helper(xs[i])
+	}
+	teardown(s)
+	return s
+}
+
+func helper(x float64) float64 { // want `hcgold.helper is reachable from //spblock:hotpath hcgold.Kernel but carries no`
+	return deep(x) * x
+}
+
+func deep(x float64) float64 { // want `hcgold.deep is reachable from //spblock:hotpath hcgold.Kernel but carries no`
+	return x + 1
+}
+
+// orphanHot documents a hot loop nothing runs anymore: unexported,
+// never called, never referenced.
+//
+//spblock:hotpath
+func orphanHot(x int) int { // want `stale //spblock:hotpath directive: hcgold.orphanHot is not reachable`
+	return x + 1
+}
+
+// orphanCold is the same drift on the cold side.
+//
+//spblock:coldpath
+func orphanCold() { // want `stale //spblock:coldpath directive: hcgold.orphanCold is not reachable`
+}

@@ -1,23 +1,9 @@
 package kpgold
 
-import (
-	"sync"
-	"sync/atomic"
-)
+import "sync"
 
-// counter is accessed through address-based sync/atomic calls, so any
-// plain access of hits elsewhere in the package is a race.
-type counter struct {
-	hits int64
-}
-
-func bump(c *counter) {
-	atomic.AddInt64(&c.hits, 1)
-}
-
-func read(c *counter) int64 {
-	return c.hits // want `plain access of field counter.hits`
-}
+// The atomic/plain mixing case that used to live here moved to the
+// atomicfield golden package when that check became program-wide.
 
 func fanOutBad(work [][]float64) {
 	var wg sync.WaitGroup

@@ -124,6 +124,8 @@ func (bt *BlockedTensor) blockID(i, j, k tensor.Index) int {
 }
 
 // BlockAt returns the CSF of block (bi, bj, bk), or nil when empty.
+//
+//spblock:hotpath
 func (bt *BlockedTensor) BlockAt(bi, bj, bk int) *tensor.CSF {
 	return bt.Blocks[(bi*bt.Grid[1]+bj)*bt.Grid[2]+bk]
 }

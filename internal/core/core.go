@@ -324,6 +324,8 @@ func (e *Executor) observe() {
 
 // runCOO executes the coordinate kernel, privatising the output per
 // worker (COO nonzero ranges do not own disjoint output rows).
+//
+//spblock:hotpath
 func (e *Executor) runCOO(b, c, out *la.Matrix) {
 	ws := &e.ws
 	if len(ws.runners) == 0 {
@@ -339,6 +341,8 @@ func (e *Executor) runCOO(b, c, out *la.Matrix) {
 }
 
 // runSPLATT executes Algorithm 1 with slice-range work sharing.
+//
+//spblock:hotpath
 func (e *Executor) runSPLATT(b, c, out *la.Matrix) {
 	ws := &e.ws
 	if len(ws.runners) == 0 {
@@ -351,6 +355,8 @@ func (e *Executor) runSPLATT(b, c, out *la.Matrix) {
 
 // runMB executes the blocked kernel over mode-1 layers; bs > 0 applies
 // rank blocking inside each block (MB+RankB).
+//
+//spblock:hotpath
 func (e *Executor) runMB(b, c, out *la.Matrix, bs int) {
 	ws := &e.ws
 	if len(ws.runners) == 0 {
@@ -376,6 +382,8 @@ func (e *Executor) runMB(b, c, out *la.Matrix, bs int) {
 // conflict misses erase the blocking benefit entirely. With
 // NoStripPacking (the ablation knob) strips are column views of the
 // original stride-R matrices instead.
+//
+//spblock:hotpath
 func (e *Executor) runStripped(b, c, out *la.Matrix) {
 	ws := &e.ws
 	r := out.Cols
@@ -409,6 +417,8 @@ func (e *Executor) runStripped(b, c, out *la.Matrix) {
 
 // stripKernel runs one strip's product; the strip operands must fully
 // accumulate into po (whose Cols is the strip width).
+//
+//spblock:hotpath
 func (e *Executor) stripKernel(pb, pc, po *la.Matrix) {
 	ws := &e.ws
 	if e.plan.Method == MethodMBRankB {
@@ -424,6 +434,8 @@ func (e *Executor) stripKernel(pb, pc, po *la.Matrix) {
 }
 
 // rankBlock resolves the effective strip width for rank R.
+//
+//spblock:hotpath
 func (e *Executor) rankBlock(r int) int {
 	bs := e.plan.RankBlockCols
 	if bs <= 0 || bs > r {

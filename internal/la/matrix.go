@@ -45,11 +45,15 @@ func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Stride+j] = v }
 
 // Row returns the i-th row as a slice sharing the matrix storage.
 // Only the first Cols entries are meaningful.
+//
+//spblock:hotpath
 func (m *Matrix) Row(i int) []float64 {
 	return m.Data[i*m.Stride : i*m.Stride+m.Cols]
 }
 
 // Zero sets every element to zero.
+//
+//spblock:hotpath
 func (m *Matrix) Zero() {
 	if m.Stride == m.Cols {
 		clear(m.Data[:m.Rows*m.Cols])

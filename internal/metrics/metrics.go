@@ -136,6 +136,8 @@ func (c *Collector) SetKernel(name string) { c.kernel = name }
 // promotion time with a preallocated constant, so the call is legal on
 // the hot path; empty means the executor runs sequentially and
 // schedules nothing.
+//
+//spblock:hotpath
 func (c *Collector) SetSched(name string) { c.sched = name }
 
 // Sched returns the recorded scheduler identity.
@@ -146,6 +148,8 @@ func (c *Collector) Sched() string { return c.sched }
 // path (one bucket) the run's wall time is also the worker's busy time.
 //
 // Hot-path safe: constant integer adds only.
+//
+//spblock:hotpath
 func (c *Collector) EndRun(start time.Time) {
 	c.runs++
 	c.totals.NNZ += c.perRun.NNZ
@@ -185,6 +189,8 @@ func (c *Collector) AddWorkerSteal(w int) {
 // on the hot path (the workers are quiescent there — same single-Run
 // rule as Snapshot). Returns 1 (balanced) for sequential executors, a
 // mis-sized baseline, or an empty window.
+//
+//spblock:hotpath
 func (c *Collector) WindowImbalance(prev []int64) float64 {
 	n := len(c.workerNS)
 	if n <= 1 || len(prev) != n {

@@ -83,6 +83,8 @@ func BuildBlocked(t *Tensor, grid []int, modeOrder []int) (*BlockedTensor, error
 }
 
 // NNZ returns the total nonzero count.
+//
+//spblock:hotpath
 func (bt *BlockedTensor) NNZ() int { return bt.nnz }
 
 // NumBlocks returns the number of non-empty blocks.

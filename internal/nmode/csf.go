@@ -25,12 +25,18 @@ type CSF struct {
 }
 
 // Order returns the number of modes.
+//
+//spblock:hotpath
 func (c *CSF) Order() int { return len(c.Dims) }
 
 // NNZ returns the number of leaves.
+//
+//spblock:hotpath
 func (c *CSF) NNZ() int { return len(c.Val) }
 
 // NumNodes returns the node count at level d.
+//
+//spblock:hotpath
 func (c *CSF) NumNodes(d int) int { return len(c.ID[d]) }
 
 // MemoryBytes reports the in-memory footprint (4-byte ids/pointers,

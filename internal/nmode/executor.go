@@ -154,6 +154,8 @@ func (e *Executor) Dims() []int { return e.dims }
 func (e *Executor) Order() int { return e.order }
 
 // NNZ returns the nonzero count of the preprocessed tensor.
+//
+//spblock:hotpath
 func (e *Executor) NNZ() int {
 	if e.blocked != nil {
 		return e.blocked.NNZ()

@@ -118,6 +118,9 @@ func (q *Queue) Stealing() bool { return q.steal }
 // SetStealing(true) would have any effect.
 func (q *Queue) CanSteal() bool { return q.stealing.chunks != nil }
 
+// active returns the layout the current run claims from.
+//
+//spblock:hotpath
 func (q *Queue) active() *layout {
 	if q.steal {
 		return &q.stealing

@@ -59,6 +59,8 @@ func NewCOO(dims Dims, capacity int) *COO {
 }
 
 // NNZ returns the number of stored entries.
+//
+//spblock:hotpath
 func (t *COO) NNZ() int { return len(t.Val) }
 
 // Density returns nnz / (I*J*K).

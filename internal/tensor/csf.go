@@ -40,6 +40,8 @@ func (c *CSF) NNZ() int { return len(c.Val) }
 func (c *CSF) NumFibers() int { return len(c.FiberK) }
 
 // NumSlices returns the number of non-empty mode-1 slices.
+//
+//spblock:hotpath
 func (c *CSF) NumSlices() int { return len(c.SliceID) }
 
 // MemoryBytes reports the actual in-memory footprint of this structure
