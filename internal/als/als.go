@@ -14,6 +14,7 @@
 package als
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -68,6 +69,13 @@ type Config struct {
 	// through a SweepRecoverer kernel before its error becomes fatal.
 	// 0 (the default) disables sweep retry entirely.
 	MaxSweepRetries int
+	// Ctx cancels the decomposition between mode products: the loop
+	// checks it before StartSweep and before every MTTKRP dispatch, so a
+	// canceled run stops within one mode product rather than finishing
+	// the decomposition. Cancellation is never retryable (it is not a
+	// kernel fault); the partial result is returned with ctx's error.
+	// nil means never canceled.
+	Ctx context.Context
 }
 
 // Result is a fitted Kruskal tensor with one factor per mode.
@@ -112,6 +120,11 @@ func Run(k Kernel, cfg Config) (*Result, error) {
 		cfg.Tol = 1e-5
 	}
 
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &Result{
 		Lambda:  make([]float64, r),
@@ -142,6 +155,9 @@ func Run(k Kernel, cfg Config) (*Result, error) {
 	// error is a retryable kernel failure (solve errors are not).
 	runSweep := func() (failedMode int, retryable bool, err error) {
 		if starter != nil {
+			if err := ctx.Err(); err != nil {
+				return -1, false, fmt.Errorf("%s: canceled: %w", pfx, err)
+			}
 			t0 := time.Now()
 			err := starter.StartSweep(res.Factors)
 			res.Phases.MTTKRPNS += time.Since(t0).Nanoseconds()
@@ -150,6 +166,9 @@ func Run(k Kernel, cfg Config) (*Result, error) {
 			}
 		}
 		for mode := 0; mode < n; mode++ {
+			if err := ctx.Err(); err != nil {
+				return mode, false, fmt.Errorf("%s: canceled before mode-%d product: %w", pfx, mode+1, err)
+			}
 			t0 := time.Now()
 			err := k.MTTKRP(mode, res.Factors, outs[mode])
 			res.Phases.MTTKRPNS += time.Since(t0).Nanoseconds()

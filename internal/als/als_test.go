@@ -1,6 +1,7 @@
 package als
 
 import (
+	"context"
 	"errors"
 	"math"
 	"strings"
@@ -374,5 +375,79 @@ func TestReplanErrorAborts(t *testing.T) {
 	}
 	if res == nil || res.Iters != 1 {
 		t.Fatalf("partial result = %+v, want the one completed sweep", res)
+	}
+}
+
+// cancellingKernel cancels its context after a fixed number of MTTKRP
+// dispatches and records whether the loop ever consulted the recoverer
+// afterwards — cancellation must be non-retryable.
+type cancellingKernel struct {
+	denseKernel
+	cancel      func()
+	cancelAfter int
+	calls       int
+	recoverAsks int
+}
+
+func (k *cancellingKernel) MTTKRP(mode int, factors []*la.Matrix, out *la.Matrix) error {
+	k.calls++
+	if k.calls == k.cancelAfter {
+		k.cancel()
+	}
+	return k.denseKernel.MTTKRP(mode, factors, out)
+}
+
+func (k *cancellingKernel) RecoverSweep(sweep, mode, attempt int, err error) bool {
+	k.recoverAsks++
+	return true
+}
+
+func TestRunCtxCancelMidSweep(t *testing.T) {
+	base, normX := rankOne([]int{5, 4, 3})
+	ctx, cancel := context.WithCancel(context.Background())
+	k := &cancellingKernel{denseKernel: *base, cancel: cancel, cancelAfter: 4}
+	res, err := Run(k, Config{
+		Rank: 2, MaxIters: 50, Tol: 1e-12, Seed: 1, NormX: normX,
+		Ctx: ctx, MaxSweepRetries: 3,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The cancel lands during call 4 (sweep 2, mode 1); the loop must
+	// stop at the next between-products check, before mode 2 dispatches.
+	if k.calls != 4 {
+		t.Fatalf("kernel ran %d products after cancel, want exactly 4", k.calls)
+	}
+	if k.recoverAsks != 0 {
+		t.Fatalf("cancellation was offered to the recoverer %d times", k.recoverAsks)
+	}
+	if res == nil || res.Iters != 1 {
+		t.Fatalf("partial result missing or wrong: %+v", res)
+	}
+}
+
+func TestRunCtxPreCanceled(t *testing.T) {
+	k, normX := rankOne([]int{4, 3, 3})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(k, Config{Rank: 1, Seed: 1, NormX: normX, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Iters != 0 || len(res.Fits) != 0 {
+		t.Fatalf("pre-canceled run produced sweeps: %+v", res)
+	}
+}
+
+func TestRunCtxCancelBeforeStartSweep(t *testing.T) {
+	base, normX := rankOne([]int{4, 3, 3})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	k := &startingKernel{denseKernel: *base}
+	if _, err := Run(k, Config{Rank: 1, Seed: 1, NormX: normX, Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if k.sweepStarts != 0 {
+		t.Fatalf("StartSweep ran %d times on a canceled context", k.sweepStarts)
 	}
 }

@@ -328,7 +328,9 @@ func SchedCostFactor(p sched.Policy, imbalance float64) float64 {
 // contributes the worker count (preserved — the executors are already
 // sized for it) and the policy constraint: an adaptive plan stays
 // adaptive, since the executor's own ratchet subsumes the static/steal
-// choice and demoting it would discard its promotion state.
+// choice and demoting it would discard its promotion state. cur is
+// also always in the trial set itself, so the returned plan is never
+// one the model costs above the plan already running.
 func Replan(t *tensor.COO, rank int, cur core.Plan, imbalance float64, opts Options) (Result, error) {
 	if err := t.Validate(); err != nil {
 		return Result{}, err
@@ -355,8 +357,18 @@ func Replan(t *tensor.COO, rank int, cur core.Plan, imbalance float64, opts Opti
 	if cur.Sched == sched.PolicyAdaptive {
 		policies = []sched.Policy{sched.PolicyAdaptive}
 	}
-	var best core.Plan
-	bestCost := math.Inf(1)
+	// The running plan is always a candidate. The greedy walks reseed
+	// from {1,1,1} and only visit power-of-two grid steps, so nothing
+	// guarantees they revisit cur's exact configuration — without this
+	// trial a between-sweep replan could hand back a plan the model
+	// itself costs above what is already running, and the driver would
+	// pay an engine rebuild for a predicted slowdown.
+	best := cur
+	if best.Grid == ([3]int{}) {
+		best.Grid = [3]int{1, 1, 1}
+	}
+	best.Workers = opts.Workers
+	bestCost := eval(best)
 	for _, method := range methods {
 		for _, pol := range policies {
 			seed := core.Plan{Method: method, Grid: [3]int{1, 1, 1}, Workers: opts.Workers, Sched: pol}

@@ -443,6 +443,46 @@ func TestReplanKeepsAdaptive(t *testing.T) {
 	}
 }
 
+// TestReplanNeverRegressesRunningPlan is the regression test for the
+// missing-cur bug: the greedy walks reseed from {1,1,1} and only step
+// through power-of-two block counts, so a running plan with a grid the
+// walk cannot reach (here 3x1x1) was never in the trial set, and Replan
+// could return a plan its own model costed *above* the plan already
+// running. The fix always evaluates cur first; pin both halves — cur is
+// a trial, and the winner's modeled cost never exceeds cur's.
+func TestReplanNeverRegressesRunningPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := randCOO(rng, tensor.Dims{48, 36, 30}, 3000)
+	cur := core.Plan{Method: core.MethodMB, Grid: [3]int{3, 1, 1}, Workers: 2}
+	res, err := Replan(x, 16, cur, 1.4, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCur := cur // the trial carries opts-normalised Workers
+	curCost := math.Inf(1)
+	for _, tr := range res.Trials {
+		if tr.Plan.String() == wantCur.String() && tr.Plan.Workers == cur.Workers {
+			curCost = tr.Cost
+			break
+		}
+	}
+	if math.IsInf(curCost, 1) {
+		t.Fatalf("running plan %v missing from the trial set (%d trials)", cur, len(res.Trials))
+	}
+	var bestCost float64 = math.Inf(1)
+	for _, tr := range res.Trials {
+		if tr.Plan.String() == res.Plan.String() && tr.Cost < bestCost {
+			bestCost = tr.Cost
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		t.Fatalf("returned plan %v has no trial", res.Plan)
+	}
+	if bestCost > curCost {
+		t.Errorf("replan returned %v at cost %v, above the running plan's %v", res.Plan, bestCost, curCost)
+	}
+}
+
 func TestReplanValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	x := randCOO(rng, tensor.Dims{8, 8, 8}, 50)

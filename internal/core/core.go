@@ -224,11 +224,19 @@ func NewExecutor(t *tensor.COO, plan Plan) (*Executor, error) {
 
 // initSched applies the plan's scheduling policy to the queue the
 // runners were built around and, for the adaptive policy, constructs
-// the controller and its window baseline.
+// the controller (its window baseline is sized by the ensure path,
+// which re-sizes it whenever the worker buckets change). Re-entrant:
+// SetWorkers calls it again after rebuilding the runners, and an
+// adaptive executor keeps its controller — including any promotion
+// already ratcheted — across the resize.
 //
 //spblock:coldpath
 func (e *Executor) initSched() {
 	if len(e.ws.runners) == 0 {
+		// Sequential resolution schedules nothing.
+		e.ctrl = nil
+		e.prevNS = nil
+		e.met.SetSched("")
 		return
 	}
 	switch {
@@ -236,14 +244,72 @@ func (e *Executor) initSched() {
 		e.ws.q.SetStealing(true)
 		e.met.SetSched(sched.StealName)
 	case e.plan.Sched == sched.PolicyAdaptive && e.ws.q.CanSteal():
-		e.ctrl = sched.NewController(sched.ControllerConfig{})
-		e.prevNS = make([]int64, len(e.ws.runners))
-		e.met.SetSched(sched.AdaptiveStaticName)
+		if e.ctrl == nil {
+			e.ctrl = sched.NewController(sched.ControllerConfig{})
+		}
+		if e.ctrl.Promoted() {
+			e.ws.q.SetStealing(true)
+			e.met.SetSched(sched.AdaptiveStealName)
+		} else {
+			e.met.SetSched(sched.AdaptiveStaticName)
+		}
 	default:
 		// Static plans, and non-static plans on a method that never
 		// builds a stealing layout (COO's ordered reduction).
+		e.ctrl = nil
+		e.prevNS = nil
 		e.met.SetSched(sched.StaticName)
 	}
+}
+
+// SetWorkers re-sizes the executor's parallelism mid-life to n workers
+// (0 = GOMAXPROCS): the worker closures, sched.Queue layouts and
+// per-worker metrics buckets are rebuilt, and the rank-dependent
+// buffers (accumulators, privatised outputs, the adaptive window
+// baseline) re-size on the next Run's ensure pass. The preprocessed
+// tensor structures are untouched — this is what makes the call cheap
+// enough for a serving cache to adapt one long-lived pooled stack to
+// each job's requested parallelism instead of rebuilding the stack.
+//
+// SetWorkers must not be called concurrently with Run (the same
+// single-Run ownership rule Run itself carries). An adaptive executor
+// keeps its controller: promotion state survives, and the resized
+// baseline means the ratchet keeps observing — it does not silently
+// die the way a stale-length baseline would make it.
+//
+//spblock:coldpath
+func (e *Executor) SetWorkers(n int) error {
+	if n < 0 {
+		return fmt.Errorf("core: negative Workers %d", n)
+	}
+	e.plan.Workers = n
+	e.ws.runners = nil
+	e.ws.q = sched.Queue{}
+	e.initRunners()
+	e.met.SizeWorkers(len(e.ws.runners))
+	e.initSched()
+	// Zeroing the sized rank forces the next Run through ensure, which
+	// rebuilds the per-worker rank buffers and the window baseline at
+	// the new width.
+	e.ws.rank = 0
+	return nil
+}
+
+// MemoryBytes reports the in-memory footprint of the executor's
+// preprocessed tensor structure (the CSF, the blocked layout, or the
+// aliased COO coordinates) — the storage a long-lived executor cache
+// charges against its byte budget.
+func (e *Executor) MemoryBytes() int64 {
+	switch {
+	case e.csf != nil:
+		return e.csf.MemoryBytes()
+	case e.blocked != nil:
+		return e.blocked.MemoryBytes()
+	case e.coo != nil:
+		// 3 int32 index slices + 1 float64 value slice, all nnz long.
+		return int64(e.coo.NNZ()) * (3*4 + 8)
+	}
+	return 0
 }
 
 // Plan returns the executor's plan.

@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"spblock/internal/gen"
 	"spblock/internal/la"
@@ -138,6 +139,148 @@ func TestAdaptivePromotionBitIdentical(t *testing.T) {
 	}
 	if e.Sched() != sched.AdaptiveStealName {
 		t.Fatalf("post-promotion sched = %q", e.Sched())
+	}
+}
+
+// TestAdaptiveRatchetSurvivesSetWorkers is the regression test for the
+// stale-baseline bug: a mid-life SetWorkers re-sizes the per-worker
+// metrics buckets, and before the fix the adaptive controller's window
+// baseline kept its old length — WindowImbalance then reported 1
+// ("balanced") on every subsequent run and the static→stealing ratchet
+// could never fire again. The ensure path now re-sizes the baseline
+// alongside the buckets, so a sustained skew observed *after* the
+// worker-count change must still promote.
+func TestAdaptiveRatchetSurvivesSetWorkers(t *testing.T) {
+	x := schedTestTensors(t)["clustered"]
+	const rank = 16
+	rng := rand.New(rand.NewSource(21))
+	b := randMatrix(rng, x.Dims[1], rank)
+	c := randMatrix(rng, x.Dims[2], rank)
+	ref := la.NewMatrix(x.Dims[0], rank)
+	if err := MTTKRP(x, b, c, ref, Plan{Method: MethodSPLATT, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := NewExecutor(x, Plan{Method: MethodSPLATT, Workers: 4, Sched: sched.PolicyAdaptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := la.NewMatrix(x.Dims[0], rank)
+	if err := e.Run(b, c, got); err != nil { // sizes buckets and baseline at 4
+		t.Fatal(err)
+	}
+	if err := e.SetWorkers(3); err != nil {
+		t.Fatal(err)
+	}
+	if e.ctrl == nil {
+		t.Fatal("SetWorkers dropped the adaptive controller")
+	}
+	if e.Sched() != sched.AdaptiveStaticName {
+		t.Fatalf("post-resize sched = %q, want %q", e.Sched(), sched.AdaptiveStaticName)
+	}
+	// Drive the ratchet with synthetic skew: worker 0's bucket gets a
+	// large busy-time delta before each run, so every post-resize window
+	// observes an imbalance near the new worker count. With the default
+	// thresholds (promote above 1.25 sustained for 3 windows) the fourth
+	// run must be promoted; a stale 4-long baseline against the resized
+	// buckets would observe 1 forever and never promote.
+	for run := 0; run < 8 && e.Sched() != sched.AdaptiveStealName; run++ {
+		if err := e.Run(b, c, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bitIdentical(got, ref) {
+			t.Fatalf("post-resize run %d: output differs", run)
+		}
+		e.met.AddWorkerTime(0, 500*time.Millisecond)
+	}
+	if e.Sched() != sched.AdaptiveStealName {
+		t.Fatalf("ratchet never fired after SetWorkers: sched = %q", e.Sched())
+	}
+	if !e.ws.q.Stealing() {
+		t.Fatal("promoted executor's queue is not stealing")
+	}
+	// And the promoted, resized executor still computes the same bits.
+	if err := e.Run(b, c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bitIdentical(got, ref) {
+		t.Fatal("post-promotion output differs")
+	}
+}
+
+// TestSetWorkersKeepsPromotion: an already-promoted adaptive executor
+// stays on the stealing layout across a resize — demoting it would
+// discard the controller's ratchet state.
+func TestSetWorkersKeepsPromotion(t *testing.T) {
+	x := schedTestTensors(t)["clustered"]
+	e, err := NewExecutor(x, Plan{Method: MethodSPLATT, Workers: 4, Sched: sched.PolicyAdaptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rank = 8
+	rng := rand.New(rand.NewSource(22))
+	b := randMatrix(rng, x.Dims[1], rank)
+	c := randMatrix(rng, x.Dims[2], rank)
+	out := la.NewMatrix(x.Dims[0], rank)
+	if err := e.Run(b, c, out); err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 8 && e.Sched() != sched.AdaptiveStealName; run++ {
+		e.met.AddWorkerTime(0, 500*time.Millisecond)
+		if err := e.Run(b, c, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Sched() != sched.AdaptiveStealName {
+		t.Fatalf("ratchet never fired: sched = %q", e.Sched())
+	}
+	if err := e.SetWorkers(2); err != nil {
+		t.Fatal(err)
+	}
+	if e.Sched() != sched.AdaptiveStealName {
+		t.Fatalf("promotion lost across SetWorkers: sched = %q", e.Sched())
+	}
+	if !e.ws.q.Stealing() {
+		t.Fatal("resized queue not stealing after prior promotion")
+	}
+	if err := e.Run(b, c, out); err != nil {
+		t.Fatal(err)
+	}
+	if e.met.Workers() != 2 {
+		t.Fatalf("metrics buckets = %d, want 2", e.met.Workers())
+	}
+}
+
+// TestSetWorkersValidatesAndResizes: negative counts are rejected, and
+// a resize rebuilds the runner set and metrics buckets.
+func TestSetWorkersValidatesAndResizes(t *testing.T) {
+	x := schedTestTensors(t)["poisson"]
+	e, err := NewExecutor(x, Plan{Method: MethodSPLATT, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetWorkers(-1); err == nil {
+		t.Fatal("SetWorkers(-1) accepted")
+	}
+	const rank = 8
+	rng := rand.New(rand.NewSource(23))
+	b := randMatrix(rng, x.Dims[1], rank)
+	c := randMatrix(rng, x.Dims[2], rank)
+	ref := la.NewMatrix(x.Dims[0], rank)
+	if err := MTTKRP(x, b, c, ref, Plan{Method: MethodSPLATT, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := la.NewMatrix(x.Dims[0], rank)
+	for _, w := range []int{2, 1, 3} {
+		if err := e.SetWorkers(w); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(b, c, out); err != nil {
+			t.Fatal(err)
+		}
+		if !bitIdentical(out, ref) {
+			t.Fatalf("workers=%d: output differs", w)
+		}
 	}
 }
 

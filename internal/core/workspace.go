@@ -83,6 +83,14 @@ func (e *Executor) ensure(r int) {
 		return
 	}
 	ws.rank = r
+	// The adaptive window baseline must track the worker buckets: after
+	// a mid-life SetWorkers the buckets were re-sized, and a baseline
+	// whose length no longer matches makes WindowImbalance report 1
+	// ("balanced") forever — the promotion ratchet would silently die.
+	// SizeWorkers zeroed the fresh buckets, so a zero baseline is exact.
+	if e.ctrl != nil && len(e.prevNS) != e.met.Workers() {
+		e.prevNS = make([]int64, e.met.Workers())
+	}
 	nw := len(ws.runners)
 	switch e.plan.Method {
 	case MethodCOO:

@@ -23,6 +23,7 @@
 package cpapr
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -52,6 +53,10 @@ type Options struct {
 	Workers int
 	// Seed drives the random positive initialisation.
 	Seed int64
+	// Ctx cancels the decomposition between mode updates: a canceled
+	// run returns the partial result with ctx's error within one
+	// update. nil means never canceled.
+	Ctx context.Context
 }
 
 // Result holds the fitted nonnegative Kruskal tensor.
@@ -128,9 +133,16 @@ func Decompose(t *tensor.COO, opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	prev := math.Inf(1)
 	for iter := 0; iter < opts.MaxIters; iter++ {
 		for n := 0; n < 3; n++ {
+			if err := ctx.Err(); err != nil {
+				return res, fmt.Errorf("cpapr: canceled before mode-%d update: %w", n+1, err)
+			}
 			if err := updateMode(t, rt, eng, res.Factors, phi[n], n, opts.MinValue); err != nil {
 				return nil, err
 			}

@@ -10,6 +10,7 @@
 package cpd
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -60,6 +61,10 @@ type Options struct {
 	// ReplanController overrides the replan controller's thresholds;
 	// zero fields take the internal/sched defaults.
 	ReplanController sched.ControllerConfig
+	// Ctx cancels the decomposition between mode products (see
+	// als.Config.Ctx): a canceled run returns the partial result with
+	// ctx's error within one mode product. nil means never canceled.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -287,24 +292,86 @@ func CPALS(t *tensor.COO, opts Options) (*Result, error) {
 		Seed:      opts.Seed,
 		NormX:     math.Sqrt(t.NormSquared()),
 		ErrPrefix: "cpd",
+		Ctx:       opts.Ctx,
 	})
 	if ares == nil {
 		return nil, aerr
 	}
+	res := fromALS(ares, opts.Plan)
+	if rk != nil {
+		res.Plan = rk.plan
+		res.Replans = rk.replans
+	}
+	return res, aerr
+}
+
+// fromALS assembles the order-3 Result from the shared loop's result.
+func fromALS(ares *als.Result, plan core.Plan) *Result {
 	res := &Result{
 		Lambda:    ares.Lambda,
 		Fits:      ares.Fits,
 		Iters:     ares.Iters,
 		Converged: ares.Converged,
 		Phases:    ares.Phases,
-		Plan:      opts.Plan,
-	}
-	if rk != nil {
-		res.Plan = rk.plan
-		res.Replans = rk.replans
+		Plan:      plan,
 	}
 	copy(res.Factors[:], ares.Factors)
-	return res, aerr
+	return res
+}
+
+// CPALSEngine decomposes t through a caller-supplied multi-mode engine
+// built over the same tensor — the path a serving cache uses to reuse
+// one preprocessed executor stack across many decompositions instead of
+// paying the per-mode CSF/block builds on every job. The engine must
+// have all three mode executors built; its plan (not Options.Plan)
+// selects the kernels, and the returned Result.Plan reports it from the
+// mode-0 executor (whose permutation is the identity, so the plan is in
+// the caller's orientation).
+//
+// Memoize and Replan are rejected: the memoized kernel folds two modes
+// outside the engine, and replanning rebuilds engines mid-run — either
+// would bypass or dangle the cached stack the caller is leasing. The
+// caller owns the engine's single-Run-per-mode exclusivity for the
+// whole call.
+func CPALSEngine(t *tensor.COO, eng *engine.MultiModeExecutor, opts Options) (*Result, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Memoize || opts.Replan {
+		return nil, fmt.Errorf("cpd: CPALSEngine does not support Memoize or Replan")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if eng == nil {
+		return nil, fmt.Errorf("cpd: CPALSEngine needs a non-nil engine")
+	}
+	if eng.Dims() != t.Dims {
+		return nil, fmt.Errorf("cpd: engine dims %v do not match tensor dims %v", eng.Dims(), t.Dims)
+	}
+	e0, err := eng.Executor(0)
+	if err != nil {
+		return nil, fmt.Errorf("cpd: %w", err)
+	}
+	for mode := 1; mode < 3; mode++ {
+		if _, err := eng.Executor(mode); err != nil {
+			return nil, fmt.Errorf("cpd: %w", err)
+		}
+	}
+	ares, aerr := als.Run(&engineKernel{dims: t.Dims[:], eng: eng}, als.Config{
+		Rank:      opts.Rank,
+		MaxIters:  opts.MaxIters,
+		Tol:       opts.Tol,
+		Seed:      opts.Seed,
+		NormX:     math.Sqrt(t.NormSquared()),
+		ErrPrefix: "cpd",
+		Ctx:       opts.Ctx,
+	})
+	if ares == nil {
+		return nil, aerr
+	}
+	return fromALS(ares, e0.Plan()), aerr
 }
 
 // ReconstructDense materialises the fitted model as a dense tensor in a

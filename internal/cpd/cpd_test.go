@@ -1,11 +1,14 @@
 package cpd
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
 	"spblock/internal/core"
+	"spblock/internal/engine"
 	"spblock/internal/la"
 	"spblock/internal/sched"
 	"spblock/internal/tensor"
@@ -330,5 +333,106 @@ func TestReplanRejectsMemoize(t *testing.T) {
 	x := plantedTensor(7, tensor.Dims{4, 4, 4}, 1)
 	if _, err := CPALS(x, Options{Rank: 2, Replan: true, Memoize: true}); err == nil {
 		t.Fatal("Replan+Memoize accepted")
+	}
+}
+
+// TestCPALSEngineMatchesCPALS pins the caller-supplied-engine path: the
+// same tensor, seed and plan through a prebuilt engine must produce the
+// bit-identical trajectory CPALS produces when it builds its own —
+// the property that lets a serving cache substitute one for the other.
+func TestCPALSEngineMatchesCPALS(t *testing.T) {
+	x := plantedTensor(5, tensor.Dims{10, 9, 8}, 3)
+	opts := Options{
+		Rank: 3, MaxIters: 12, Tol: 1e-12, Seed: 7,
+		Plan: core.Plan{Method: core.MethodMB, Grid: [3]int{2, 2, 2}},
+	}
+	want, err := CPALS(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.NewMultiModeExecutor(x, opts.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 2; trial++ { // the engine is reusable across jobs
+		got, err := CPALSEngine(x, eng, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Fits) != len(want.Fits) {
+			t.Fatalf("trial %d: %d sweeps vs %d", trial, len(got.Fits), len(want.Fits))
+		}
+		for i := range got.Fits {
+			if got.Fits[i] != want.Fits[i] {
+				t.Fatalf("trial %d sweep %d: fit %v != %v", trial, i, got.Fits[i], want.Fits[i])
+			}
+		}
+		for mode := 0; mode < 3; mode++ {
+			for i, v := range got.Factors[mode].Data {
+				if v != want.Factors[mode].Data[i] {
+					t.Fatalf("trial %d: factor %d differs at %d", trial, mode, i)
+				}
+			}
+		}
+		if got.Plan.String() != want.Plan.String() {
+			t.Fatalf("trial %d: plan %v vs %v", trial, got.Plan, want.Plan)
+		}
+	}
+}
+
+func TestCPALSEngineValidation(t *testing.T) {
+	x := plantedTensor(5, tensor.Dims{6, 5, 4}, 2)
+	eng, err := engine.NewMultiModeExecutor(x, core.Plan{Method: core.MethodSPLATT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Rank: 2}
+	if _, err := CPALSEngine(x, nil, opts); err == nil {
+		t.Error("nil engine accepted")
+	}
+	bad := opts
+	bad.Memoize = true
+	if _, err := CPALSEngine(x, eng, bad); err == nil {
+		t.Error("Memoize accepted")
+	}
+	bad = opts
+	bad.Replan = true
+	if _, err := CPALSEngine(x, eng, bad); err == nil {
+		t.Error("Replan accepted")
+	}
+	other := plantedTensor(6, tensor.Dims{5, 5, 5}, 2)
+	if _, err := CPALSEngine(other, eng, opts); err == nil {
+		t.Error("dims mismatch accepted")
+	}
+	partial, err := engine.NewMultiModeExecutor(x, core.Plan{Method: core.MethodSPLATT}, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CPALSEngine(x, partial, opts); err == nil {
+		t.Error("engine missing mode 1 accepted")
+	}
+}
+
+func TestCPALSCtxCanceled(t *testing.T) {
+	x := plantedTensor(5, tensor.Dims{8, 7, 6}, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := CPALS(x, Options{Rank: 2, MaxIters: 20, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("CPALS err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Iters != 0 {
+		t.Fatalf("canceled CPALS ran sweeps: %+v", res)
+	}
+	eng, err := engine.NewMultiModeExecutor(x, core.Plan{Method: core.MethodSPLATT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = CPALSEngine(x, eng, Options{Rank: 2, MaxIters: 20, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("CPALSEngine err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Iters != 0 {
+		t.Fatalf("canceled CPALSEngine ran sweeps: %+v", res)
 	}
 }

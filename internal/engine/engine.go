@@ -207,6 +207,37 @@ func (m *MultiModeExecutor) Kernel(n int) (kernel.Variant, error) {
 	return e.Kernel(), nil
 }
 
+// SetWorkers re-sizes every built mode executor's parallelism mid-life
+// (see core.Executor.SetWorkers): worker closures, queue layouts and
+// metrics buckets are rebuilt for n workers (0 = GOMAXPROCS) while the
+// preprocessed per-mode structures are kept. Must not be called while
+// any mode is mid-Run — the caller owns the same exclusivity rule Run
+// does (a serving cache holds the executor's lease across the call).
+func (m *MultiModeExecutor) SetWorkers(n int) error {
+	for _, e := range m.execs {
+		if e == nil {
+			continue
+		}
+		if err := e.SetWorkers(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MemoryBytes sums the preprocessed-structure footprint of every built
+// mode executor — what a serving cache charges one cached multi-mode
+// stack against its byte budget.
+func (m *MultiModeExecutor) MemoryBytes() int64 {
+	var s int64
+	for _, e := range m.execs {
+		if e != nil {
+			s += e.MemoryBytes()
+		}
+	}
+	return s
+}
+
 //spblock:coldpath
 func (m *MultiModeExecutor) executor(n int) (*core.Executor, error) {
 	if n < 0 || n > 2 {

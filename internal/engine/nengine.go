@@ -213,6 +213,25 @@ func (e *NEngine) Sched(mode int) (string, error) {
 	return e.execs[mode].Sched(), nil
 }
 
+// SetWorkers re-sizes every built mode executor's parallelism mid-life,
+// whichever executor family serves it (see core.Executor.SetWorkers and
+// nmode.Executor.SetWorkers). Must not be called while any mode is
+// mid-Run.
+func (e *NEngine) SetWorkers(n int) error {
+	if e.fast != nil {
+		return e.fast.SetWorkers(n)
+	}
+	for _, ex := range e.execs {
+		if ex == nil {
+			continue
+		}
+		if err := ex.SetWorkers(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Order returns the number of modes.
 func (e *NEngine) Order() int { return len(e.dims) }
 

@@ -120,9 +120,18 @@ func (e *Engine) ComputeS(c *la.Matrix) error {
 	if r == 0 {
 		return fmt.Errorf("memo: rank must be positive")
 	}
-	if e.s == nil || e.s.Cols != r {
+	// Reuse the memo buffer by capacity, not by exact shape: a CP-ALS
+	// driver that lowers the rank on a long-lived engine (the common
+	// case once engines are cached and shared across jobs) must not keep
+	// the larger stale matrix header around forever, nor pay a fresh
+	// P×r allocation for a buffer that already fits. Retention is
+	// bounded by the high-water rank.
+	need := e.NumPairs() * r
+	if e.s == nil || cap(e.s.Data) < need {
 		e.s = la.NewMatrix(e.NumPairs(), r)
 	} else {
+		e.s.Rows, e.s.Cols, e.s.Stride = e.NumPairs(), r, r
+		e.s.Data = e.s.Data[:need]
 		e.s.Zero()
 	}
 	for p := 0; p < e.NumPairs(); p++ {

@@ -232,3 +232,85 @@ func TestQuickMemoFolds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestComputeSRankChangeReuse pins the memo buffer's shrink-or-reuse
+// contract: lowering the rank on a long-lived engine must reuse the
+// existing allocation (0 allocs, retention bounded by the high-water
+// rank) while the folds stay correct at the new rank, and growing past
+// the high-water mark allocates a fresh buffer.
+func TestComputeSRankChangeReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dims := tensor.Dims{9, 8, 7}
+	x := randCOO(rng, dims, 160)
+	e, err := NewEngine(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hi, lo = 12, 5
+	cHi := randMatrix(rng, dims[2], hi)
+	if err := e.ComputeS(cHi); err != nil {
+		t.Fatal(err)
+	}
+	hiData := &e.s.Data[0]
+	hiCap := cap(e.s.Data)
+
+	cLo := randMatrix(rng, dims[2], lo)
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := e.ComputeS(cLo); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ComputeS after rank decrease allocated %.0f times per run, want 0", allocs)
+	}
+	if &e.s.Data[0] != hiData {
+		t.Fatalf("rank decrease replaced the memo buffer instead of reusing it")
+	}
+	if cap(e.s.Data) != hiCap {
+		t.Fatalf("memo buffer capacity changed across shrink: %d -> %d", hiCap, cap(e.s.Data))
+	}
+	if e.s.Rows != e.NumPairs() || e.s.Cols != lo || e.s.Stride != lo || len(e.s.Data) != e.NumPairs()*lo {
+		t.Fatalf("shrunk memo header wrong: %dx%d stride %d len %d",
+			e.s.Rows, e.s.Cols, e.s.Stride, len(e.s.Data))
+	}
+
+	// Folds at the shrunk rank must match a fresh engine (no stale
+	// high-rank values can leak through the reused storage).
+	b := randMatrix(rng, dims[1], lo)
+	got := la.NewMatrix(dims[0], lo)
+	if err := e.FoldMode1(b, got); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewEngine(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.ComputeS(cLo); err != nil {
+		t.Fatal(err)
+	}
+	want := la.NewMatrix(dims[0], lo)
+	if err := fresh.FoldMode1(b, want); err != nil {
+		t.Fatal(err)
+	}
+	if d := got.MaxAbsDiff(want); d != 0 {
+		t.Fatalf("fold after shrink differs from fresh engine by %g", d)
+	}
+
+	// Growing back within capacity still reuses; past it, reallocates.
+	if err := e.ComputeS(cHi); err != nil {
+		t.Fatal(err)
+	}
+	if &e.s.Data[0] != hiData {
+		t.Fatalf("regrow within high-water capacity reallocated")
+	}
+	cBig := randMatrix(rng, dims[2], hi+4)
+	if err := e.ComputeS(cBig); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.s.Cols; got != hi+4 {
+		t.Fatalf("grown memo rank = %d, want %d", got, hi+4)
+	}
+	if cap(e.s.Data) < e.NumPairs()*(hi+4) {
+		t.Fatalf("grown memo buffer too small: cap %d", cap(e.s.Data))
+	}
+}

@@ -109,11 +109,18 @@ func NewExecutor(t *Tensor, mode int, opts Options) (*Executor, error) {
 }
 
 // initSched applies the requested scheduling policy to the queue the
-// runners claim from, mirroring core.Executor.initSched.
+// runners claim from, mirroring core.Executor.initSched. Re-entrant:
+// SetWorkers calls it again after rebuilding the runners, and an
+// adaptive executor keeps its controller (and any promotion already
+// ratcheted) across the resize; the window baseline is sized by the
+// ensure path, which re-sizes it whenever the worker buckets change.
 //
 //spblock:coldpath
 func (e *Executor) initSched() {
 	if len(e.ws.runners) == 0 {
+		e.ctrl = nil
+		e.prevNS = nil
+		e.met.SetSched("")
 		return
 	}
 	switch {
@@ -121,12 +128,44 @@ func (e *Executor) initSched() {
 		e.ws.q.SetStealing(true)
 		e.met.SetSched(sched.StealName)
 	case e.opts.Sched == sched.PolicyAdaptive && e.ws.q.CanSteal():
-		e.ctrl = sched.NewController(sched.ControllerConfig{})
-		e.prevNS = make([]int64, len(e.ws.runners))
-		e.met.SetSched(sched.AdaptiveStaticName)
+		if e.ctrl == nil {
+			e.ctrl = sched.NewController(sched.ControllerConfig{})
+		}
+		if e.ctrl.Promoted() {
+			e.ws.q.SetStealing(true)
+			e.met.SetSched(sched.AdaptiveStealName)
+		} else {
+			e.met.SetSched(sched.AdaptiveStaticName)
+		}
 	default:
+		e.ctrl = nil
+		e.prevNS = nil
 		e.met.SetSched(sched.StaticName)
 	}
+}
+
+// SetWorkers re-sizes the executor's parallelism mid-life to n workers
+// (0 = GOMAXPROCS), rebuilding the worker closures, queue layouts and
+// metrics buckets while keeping the preprocessed tree structures — the
+// N-mode counterpart of core.Executor.SetWorkers, with the same
+// contract: never call it concurrently with Run, and an adaptive
+// executor's controller (and promotion state) survives the resize.
+//
+//spblock:coldpath
+func (e *Executor) SetWorkers(n int) error {
+	if n < 0 {
+		return fmt.Errorf("nmode: negative worker count %d", n)
+	}
+	e.opts.Workers = n
+	e.ws.runners = nil
+	e.ws.q = sched.Queue{}
+	e.initRunners()
+	e.met.SizeWorkers(len(e.ws.runners))
+	e.initSched()
+	// Force the next Run through ensure so the per-worker walkers and
+	// the adaptive window baseline re-size at the new width.
+	e.ws.rank = 0
+	return nil
 }
 
 // Mode returns the output mode this executor serves.

@@ -75,6 +75,14 @@ func (e *Executor) ensure(r int) {
 		return
 	}
 	ws.rank = r
+	// The adaptive window baseline must track the worker buckets: after
+	// a mid-life SetWorkers the buckets were re-sized, and a stale-length
+	// baseline makes WindowImbalance report 1 ("balanced") forever — the
+	// promotion ratchet would silently die. SizeWorkers zeroed the fresh
+	// buckets, so a zero baseline is exact.
+	if e.ctrl != nil && len(e.prevNS) != e.met.Workers() {
+		e.prevNS = make([]int64, e.met.Workers())
+	}
 	// The effective strip width drives the kernel variant: packed
 	// strips are RankBlockCols wide, otherwise the whole rank is one
 	// strip (narrower final strips fall to the variant's scalar tail).

@@ -37,6 +37,7 @@ import (
 	"spblock/internal/mpi"
 	"spblock/internal/nmode"
 	"spblock/internal/sched"
+	"spblock/internal/server"
 	"spblock/internal/tensor"
 )
 
@@ -328,3 +329,16 @@ func Datasets() []string { return gen.Names() }
 
 // LookupDataset fetches a Table II data-set spec by name.
 func LookupDataset(name string) (DatasetSpec, error) { return gen.Lookup(name) }
+
+// Fingerprint returns the content hash identifying t up to nonzero
+// storage order — the executor-cache key of the spblockd service (see
+// internal/server): two uploads of the same logical tensor share one
+// cached executor stack.
+func Fingerprint(t *Tensor) string { return server.Fingerprint(t) }
+
+// CPALSEngine decomposes t through a caller-supplied multi-mode
+// engine, reusing its preprocessed per-mode executors instead of
+// building fresh ones — the serving-cache path of spblockd.
+func CPALSEngine(t *Tensor, eng *MultiExecutor, opts CPOptions) (*CPResult, error) {
+	return cpd.CPALSEngine(t, eng, opts)
+}
