@@ -16,6 +16,7 @@
 //	spblock-exp -exp table3               # distributed 3D vs 4D
 //	spblock-exp -exp chaos                # CP-ALS under injected faults
 //	spblock-exp -exp imbalance            # static vs stealing vs adaptive scheduling
+//	spblock-exp -exp ooc                  # out-of-core CP-ALS working-set sweep
 //	spblock-exp -exp all                  # everything
 //
 // -scale shrinks or grows the data sets (1.0 = the registry's bench
@@ -36,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig2|table1|table2|fig4|fig5|fig5traffic|fig6|fig6traffic|table3|chaos|tuning|imbalance|all")
+		exp     = flag.String("exp", "all", "experiment: fig2|table1|table2|fig4|fig5|fig5traffic|fig6|fig6traffic|table3|chaos|tuning|imbalance|ooc|all")
 		scale   = flag.Float64("scale", 1.0, "data-set scale factor (1.0 = bench scale)")
 		reps    = flag.Int("reps", 3, "timed repetitions per measurement (best kept)")
 		workers = flag.Int("workers", 0, "kernel parallelism (0 = GOMAXPROCS)")
@@ -93,6 +94,7 @@ func main() {
 		{"chaos", func() (*bench.Table, error) { return bench.Chaos(cfg, kindList, *chaosRate, *chaosSeed) }},
 		{"tuning", func() (*bench.Table, error) { return bench.TuningTable(cfg, *trRank, setList) }},
 		{"imbalance", func() (*bench.Table, error) { return bench.Imbalance(cfg) }},
+		{"ooc", func() (*bench.Table, error) { return bench.OOC(cfg) }},
 	}
 
 	matched := false

@@ -97,11 +97,13 @@ type Collector struct {
 	kernel string
 	sched  string
 
-	runs     int64
-	totals   PerRun
-	runNS    int64
-	workerNS []int64
-	steals   []int64
+	runs       int64
+	totals     PerRun
+	runNS      int64
+	workerNS   []int64
+	steals     []int64
+	ioWaitNS   int64
+	prefetchNS []int64
 }
 
 // SizeWorkers pre-sizes the per-worker time buckets (and the parallel
@@ -181,6 +183,40 @@ func (c *Collector) AddWorkerSteal(w int) {
 	c.steals[w]++
 }
 
+// SizePrefetchers pre-sizes the per-decoder prefetch busy-time buckets
+// for an out-of-core executor. Cold path, called once at construction;
+// n < 1 clears the buckets (the in-memory executors never call this,
+// so their Snapshots omit the prefetch fields entirely).
+func (c *Collector) SizePrefetchers(n int) {
+	if n < 1 {
+		c.prefetchNS = nil
+		return
+	}
+	c.prefetchNS = make([]int64, n)
+}
+
+// AddIOWait adds dt to the consumer-side IO stall time: wall time the
+// kernel loop spent blocked waiting for the next decoded block. Called
+// only from the executor's Run goroutine.
+//
+// Hot-path safe: one integer add.
+//
+//spblock:hotpath
+func (c *Collector) AddIOWait(dt time.Duration) {
+	c.ioWaitNS += dt.Nanoseconds()
+}
+
+// AddPrefetch adds dt to decoder w's busy-time bucket (read + decode,
+// excluding backpressure waits). Each decoder writes only its own
+// element — the same index-disjointness contract as AddWorkerTime.
+//
+// Hot-path safe: one integer add.
+//
+//spblock:hotpath
+func (c *Collector) AddPrefetch(w int, dt time.Duration) {
+	c.prefetchNS[w] += dt.Nanoseconds()
+}
+
 // WindowImbalance returns the max/mean load-imbalance factor of the
 // worker busy time accumulated since the previous call — the adaptive
 // controller's per-run observation. prev is the caller-owned window
@@ -224,6 +260,10 @@ func (c *Collector) Reset() {
 	for i := range c.steals {
 		c.steals[i] = 0
 	}
+	c.ioWaitNS = 0
+	for i := range c.prefetchNS {
+		c.prefetchNS[i] = 0
+	}
 }
 
 // Snapshot is a point-in-time copy of a Collector's accumulated state,
@@ -260,6 +300,13 @@ type Snapshot struct {
 	// WorkerSteals holds each worker's stolen-chunk count; omitted when
 	// no chunk was ever stolen. BENCH schema v3.
 	WorkerSteals []int64 `json:"worker_steals,omitempty"`
+	// IOWaitNS is the wall time the out-of-core consumer loop spent
+	// blocked waiting for the next decoded block, in nanoseconds.
+	// Omitted (zero) for in-memory executors.
+	IOWaitNS int64 `json:"io_wait_ns,omitempty"`
+	// PrefetchNS holds each out-of-core decoder's busy time (read +
+	// decode) in nanoseconds. Omitted for in-memory executors.
+	PrefetchNS []int64 `json:"prefetch_ns,omitempty"`
 }
 
 // Snapshot copies the collector's state out. Cold path: it allocates
@@ -276,12 +323,16 @@ func (c *Collector) Snapshot() Snapshot {
 		WorkerNS: append([]int64(nil), c.workerNS...),
 		Kernel:   c.kernel,
 		Sched:    c.sched,
+		IOWaitNS: c.ioWaitNS,
 	}
 	for _, v := range c.steals {
 		if v != 0 {
 			s.WorkerSteals = append([]int64(nil), c.steals...)
 			break
 		}
+	}
+	if c.prefetchNS != nil {
+		s.PrefetchNS = append([]int64(nil), c.prefetchNS...)
 	}
 	return s
 }
@@ -293,6 +344,54 @@ func (s Snapshot) Steals() int64 {
 		t += v
 	}
 	return t
+}
+
+// PrefetchTotalNS returns the summed decoder busy time across the
+// prefetch buckets (0 for in-memory executors).
+func (s Snapshot) PrefetchTotalNS() int64 {
+	var t int64
+	for _, v := range s.PrefetchNS {
+		t += v
+	}
+	return t
+}
+
+// IOWaitFraction returns the fraction of Run wall time the consumer
+// loop spent stalled on IO — 0 means decode was fully hidden behind
+// kernel execution, 1 means the run was IO-bound end to end. Returns 0
+// before any timed run.
+func (s Snapshot) IOWaitFraction() float64 {
+	if s.WallNS <= 0 {
+		return 0
+	}
+	f := float64(s.IOWaitNS) / float64(s.WallNS)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// OverlapNS returns the decoder busy time hidden behind kernel
+// execution: total prefetch work minus the part the consumer actually
+// waited for, clamped at 0.
+func (s Snapshot) OverlapNS() int64 {
+	o := s.PrefetchTotalNS() - s.IOWaitNS
+	if o < 0 {
+		o = 0
+	}
+	return o
+}
+
+// OverlapFraction returns the fraction of prefetch (IO + decode) work
+// that overlapped with kernel execution — 1 means all IO was hidden,
+// 0 means the pipeline serialised. Returns 0 when no prefetch work was
+// recorded.
+func (s Snapshot) OverlapFraction() float64 {
+	t := s.PrefetchTotalNS()
+	if t <= 0 {
+		return 0
+	}
+	return float64(s.OverlapNS()) / float64(t)
 }
 
 // NsPerRun returns the mean wall time per Run in nanoseconds, or 0

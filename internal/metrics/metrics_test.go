@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 	"time"
 
@@ -229,5 +230,57 @@ func TestCommStats(t *testing.T) {
 	want := `{"retries":3,"timeouts":1,"backoff_sec":0.75,"crashes":1,"sweep_retries":3,"degraded_sweeps":4}`
 	if string(data) != want {
 		t.Fatalf("CommStats JSON = %s, want %s", data, want)
+	}
+}
+
+func TestCollectorIOWaitAndPrefetch(t *testing.T) {
+	var c Collector
+	c.SizeWorkers(1)
+	c.SizePrefetchers(2)
+	start := time.Now().Add(-10 * time.Millisecond)
+	c.AddIOWait(2 * time.Millisecond)
+	c.AddPrefetch(0, 5*time.Millisecond)
+	c.AddPrefetch(1, 3*time.Millisecond)
+	c.EndRun(start)
+
+	s := c.Snapshot()
+	if s.IOWaitNS != (2 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("IOWaitNS = %d", s.IOWaitNS)
+	}
+	if len(s.PrefetchNS) != 2 || s.PrefetchTotalNS() != (8*time.Millisecond).Nanoseconds() {
+		t.Fatalf("prefetch buckets wrong: %v", s.PrefetchNS)
+	}
+	if s.OverlapNS() != (6 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("OverlapNS = %d", s.OverlapNS())
+	}
+	if f := s.OverlapFraction(); f < 0.74 || f > 0.76 {
+		t.Fatalf("OverlapFraction = %v, want 0.75", f)
+	}
+	if f := s.IOWaitFraction(); f <= 0 || f > 1 {
+		t.Fatalf("IOWaitFraction = %v", f)
+	}
+
+	// Reset clears the new counters but keeps the bucket sizing.
+	c.Reset()
+	s = c.Snapshot()
+	if s.IOWaitNS != 0 || s.PrefetchTotalNS() != 0 || len(s.PrefetchNS) != 2 {
+		t.Fatalf("reset did not clear ooc counters: %+v", s)
+	}
+
+	// In-memory executors never size prefetchers: their snapshots omit
+	// the ooc fields from the BENCH record entirely.
+	var plain Collector
+	plain.SizeWorkers(1)
+	data, err := json.Marshal(plain.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "io_wait_ns") || strings.Contains(string(data), "prefetch_ns") {
+		t.Fatalf("in-memory snapshot leaks ooc fields: %s", data)
+	}
+	// Derived helpers are safe on empty snapshots.
+	var empty Snapshot
+	if empty.IOWaitFraction() != 0 || empty.OverlapFraction() != 0 || empty.OverlapNS() != 0 {
+		t.Fatal("empty snapshot fractions must be 0")
 	}
 }

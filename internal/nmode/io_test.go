@@ -73,6 +73,64 @@ func TestReadTNSNEmptyWithDims(t *testing.T) {
 	}
 }
 
+// A single .tns line larger than bufio.Scanner's old 1<<22 token cap
+// must parse: the reader is built on bufio.Reader line accumulation,
+// not a capped Scanner. Regression test for the "token too long"
+// failure on >4 MiB lines.
+func TestReadTNSLongLine(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("1 1 1 2.5")
+	// Trailing spaces are legal field separators; pad the line past the
+	// old cap without changing its meaning.
+	pad := strings.Repeat(" ", 1<<16)
+	for b.Len() < (1<<22)+(1<<20) {
+		b.WriteString(pad)
+	}
+	b.WriteString("\n2 2 2 -1\n")
+	x, err := ReadTNS(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("long line rejected: %v", err)
+	}
+	if x.NNZ() != 2 || x.Val[0] != 2.5 || x.Val[1] != -1 {
+		t.Fatalf("long line parsed wrong: nnz=%d val=%v", x.NNZ(), x.Val)
+	}
+}
+
+func TestTNSStreamMatchesReadTNS(t *testing.T) {
+	in := "# dims: 4 5 3\n1 2 3 1.5\n4 5 1 -2\n\n# comment\n2 2 2 0.25"
+	want, err := ReadTNS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewTNSStream(strings.NewReader(in))
+	p := 0
+	for {
+		coords, val, err := s.Next()
+		if err != nil {
+			break
+		}
+		if val != want.Val[p] {
+			t.Fatalf("entry %d: val %v want %v", p, val, want.Val[p])
+		}
+		for m := range coords {
+			if coords[m] != want.Idx[m][p] {
+				t.Fatalf("entry %d mode %d: %d want %d", p, m, coords[m], want.Idx[m][p])
+			}
+		}
+		p++
+	}
+	if p != want.NNZ() || s.NNZ() != want.NNZ() {
+		t.Fatalf("streamed %d entries, want %d", p, want.NNZ())
+	}
+	dd := s.DeclaredDims()
+	if len(dd) != 3 || dd[0] != 4 || dd[1] != 5 || dd[2] != 3 {
+		t.Fatalf("declared dims = %v", dd)
+	}
+	if s.Order() != 3 {
+		t.Fatalf("order = %d", s.Order())
+	}
+}
+
 func TestWriteReadRoundTripN(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	x := randTensorN(rng, []int{4, 5, 3, 6}, 120)

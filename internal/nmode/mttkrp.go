@@ -158,6 +158,37 @@ func runOverRoots(c *CSF, factors []*la.Matrix, out *la.Matrix, _ int, workers i
 	wg.Wait()
 }
 
+// Walker is a reusable, exported handle on the pooled DFS state for
+// callers outside this package (the out-of-core executor): size it once
+// for an order and rank, then Walk any number of CSF trees of that
+// order at up to that rank. Accumulation order inside Walk is exactly
+// the in-memory executor's — same resolved kernel variant, same
+// root-major DFS — so walking blocks in the executor's block order
+// reproduces its output bit for bit.
+type Walker struct {
+	w *walker
+}
+
+// NewWalker sizes a Walker for order-`order` trees at rank `rank`,
+// resolving the same width-specialized leaf kernel the in-memory
+// executors use at that rank.
+func NewWalker(order, rank int) *Walker {
+	return &Walker{w: newWalkerBufs(order, rank, kernel.Resolve(rank))}
+}
+
+// Kernel reports the resolved leaf kernel's name (for metrics).
+func (wk *Walker) Kernel() string { return wk.w.kern.Name }
+
+// Walk accumulates c's MTTKRP contribution into out (not zeroed here:
+// the caller owns the block loop and zeroes once per product).
+//
+//spblock:hotpath
+func (wk *Walker) Walk(c *CSF, factors []*la.Matrix, out *la.Matrix) {
+	w := wk.w
+	w.bind(c, factors, out)
+	w.roots(0, c.NumNodes(0))
+}
+
 // walker carries the per-goroutine DFS state: one accumulator buffer
 // per internal tree level (bufs[d] holds the running value of the
 // current level-d node, the N-mode generalisation of Algorithm 1's s).

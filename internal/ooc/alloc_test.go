@@ -1,0 +1,56 @@
+package ooc_test
+
+import (
+	"testing"
+
+	"spblock/internal/la"
+	"spblock/internal/ooc"
+	"spblock/internal/testutil/raceflag"
+)
+
+// TestSteadyStatePrefetchAllocations pins the pipeline's free-list
+// recycling: after a warm-up product sizes the walker, repeated
+// streamed MTTKRP products — goroutine launches, channel traffic,
+// positioned reads, decode, CSF rebuild, kernel walk — must not touch
+// the heap. Every slot is pre-sized to the largest staged block at
+// Open, so no growth path survives into steady state.
+func TestSteadyStatePrefetchAllocations(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; AllocsPerRun is meaningless under -race")
+	}
+	x := randTensor(21, []int{20, 16, 12, 10}, 2000)
+	stage, man := stageTensor(t, x, []int{2, 2, 2, 2})
+	const rank = 16
+	factors := make([]*la.Matrix, len(x.Dims))
+	for m, d := range x.Dims {
+		factors[m] = la.NewMatrix(d, rank)
+		for i := range factors[m].Data {
+			factors[m].Data[i] = float64(i%7) - 3
+		}
+	}
+	out := la.NewMatrix(x.Dims[0], rank)
+	for _, opt := range []ooc.Options{
+		{},
+		{Decoders: 1},
+		{BudgetBytes: man.TotalBlockBytes() / 4, Decoders: 3},
+	} {
+		e, err := ooc.Open(stage, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm-up resolves the walker at this rank.
+		if err := e.MTTKRP(0, factors, out); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if err := e.MTTKRP(0, factors, out); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("depth %d decoders %d: steady-state MTTKRP allocates %.1f/run, want 0",
+				e.Depth(), e.Decoders(), allocs)
+		}
+		e.Close()
+	}
+}

@@ -1,0 +1,155 @@
+package ooc_test
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"spblock/internal/nmode"
+	"spblock/internal/ooc"
+)
+
+// FuzzStageAgainstReadTNS cross-checks the chunked streaming reader
+// against the in-memory parser: whatever ReadTNS accepts, Stage must
+// accept, and the staged blocks must hold exactly the same multiset of
+// nonzeros under the same dims — with per-block file order preserved.
+// Whatever ReadTNS rejects, Stage must reject too (the two paths share
+// nmode.TNSStream, so parse behaviour cannot drift).
+func FuzzStageAgainstReadTNS(f *testing.F) {
+	seeds := []string{
+		"1 1 1 5.0\n",
+		"# dims: 3 4 2\n1 2 1 -1\n3 4 2 2.5\n3 4 2 2.5\n",
+		"2 3 1 4 -2\n1 1 1 1 1\n",
+		"# dims: 5 5\n",
+		"# comment\n\n10 1 1 7\n1 1 1 nan\n",
+		"1 1 2\n",
+		"# dims: 2 2\n1 1 1 1\n",
+		"5 1 1\n1 9 1e3\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		want, werr := nmode.ReadTNS(strings.NewReader(input))
+		dir := t.TempDir()
+		path := filepath.Join(dir, "in.tns")
+		if err := os.WriteFile(path, []byte(input), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		stage := filepath.Join(dir, "staged")
+		man, serr := ooc.Stage(path, stage, ooc.StageOptions{})
+		if werr != nil {
+			if serr == nil {
+				t.Fatalf("ReadTNS rejected (%v) but Stage accepted", werr)
+			}
+			return
+		}
+		if serr != nil {
+			t.Fatalf("ReadTNS accepted but Stage rejected: %v", serr)
+		}
+		if man.NNZ != int64(want.NNZ()) {
+			t.Fatalf("staged %d nnz, want %d", man.NNZ, want.NNZ())
+		}
+		for m := range want.Dims {
+			if man.Dims[m] != want.Dims[m] {
+				t.Fatalf("staged dims %v, want %v", man.Dims, want.Dims)
+			}
+		}
+		got := decodeStaged(t, stage, man)
+		// Same multiset: sort both by coordinates then value bits.
+		sortEntries(got)
+		wantEntries := tensorEntries(want)
+		sortEntries(wantEntries)
+		if len(got) != len(wantEntries) {
+			t.Fatalf("decoded %d entries, want %d", len(got), len(wantEntries))
+		}
+		for i := range got {
+			if !sameEntry(got[i], wantEntries[i]) {
+				t.Fatalf("entry %d: %v vs %v", i, got[i], wantEntries[i])
+			}
+		}
+	})
+}
+
+type entry struct {
+	coords []nmode.Index
+	bits   uint64
+}
+
+func tensorEntries(x *nmode.Tensor) []entry {
+	es := make([]entry, x.NNZ())
+	for p := range es {
+		es[p] = entry{coords: x.Coord(p, nil), bits: math.Float64bits(x.Val[p])}
+	}
+	return es
+}
+
+// decodeStaged reads blocks.dat back record by record, checking each
+// coordinate lands inside its block's box.
+func decodeStaged(t *testing.T, dir string, man *ooc.Manifest) []entry {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, "blocks.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := man.Order()
+	bd := man.BlockDims()
+	rec := 4*order + 8
+	var es []entry
+	for _, b := range man.Blocks {
+		base := make([]int, order)
+		id := b.ID
+		for m := order - 1; m >= 0; m-- {
+			base[m] = (id % man.Grid[m]) * bd[m]
+			id /= man.Grid[m]
+		}
+		off := int(b.Off)
+		for p := 0; p < b.NNZ; p++ {
+			e := entry{coords: make([]nmode.Index, order)}
+			for m := 0; m < order; m++ {
+				c := int(binary.LittleEndian.Uint32(data[off:]))
+				off += 4
+				if c < base[m] || c >= base[m]+bd[m] || c >= man.Dims[m] {
+					t.Fatalf("block %d record %d mode %d: coord %d outside box [%d,%d) dims %v",
+						b.ID, p, m, c, base[m], base[m]+bd[m], man.Dims)
+				}
+				e.coords[m] = nmode.Index(c)
+			}
+			e.bits = binary.LittleEndian.Uint64(data[off:])
+			off += 8
+			es = append(es, e)
+		}
+		if off != int(b.Off)+b.NNZ*rec {
+			t.Fatalf("block %d: consumed %d bytes, want %d records of %d bytes",
+				b.ID, off-int(b.Off), b.NNZ, rec)
+		}
+	}
+	return es
+}
+
+func sortEntries(es []entry) {
+	sort.SliceStable(es, func(a, b int) bool {
+		for m := range es[a].coords {
+			if es[a].coords[m] != es[b].coords[m] {
+				return es[a].coords[m] < es[b].coords[m]
+			}
+		}
+		return es[a].bits < es[b].bits
+	})
+}
+
+func sameEntry(a, b entry) bool {
+	if a.bits != b.bits {
+		return false
+	}
+	for m := range a.coords {
+		if a.coords[m] != b.coords[m] {
+			return false
+		}
+	}
+	return true
+}

@@ -29,6 +29,11 @@ type Entry struct {
 	// eng is built on first use under the lease (nil until then).
 	eng  *engine.MultiModeExecutor
 	plan core.Plan
+	// workers is the stack's currently applied parallelism, owned by
+	// the lease holder like eng. It starts at the plan's value (what
+	// the build uses) and lets each job restore its own resolved count
+	// without paying a SetWorkers rebuild when nothing changed.
+	workers int
 
 	// mu guards everything below — the published statistics side of
 	// the entry, written by lease holders at job end and read by the
@@ -39,6 +44,11 @@ type Entry struct {
 	lastUse uint64
 	jobs    int64
 	leases  int64
+	// pending counts Get handouts that have not yet been leased. An
+	// entry with pending > 0 is pinned against eviction: evicting it
+	// would orphan the caller's reference, and a later Executor build
+	// on the orphan would charge bytes the cache can never reclaim.
+	pending int
 	snaps   [3]metrics.Snapshot
 	comm    metrics.CommStats
 }
@@ -50,7 +60,9 @@ func (e *Entry) Fingerprint() string { return e.fp }
 func (e *Entry) Tensor() *tensor.COO { return e.t }
 
 // Acquire takes the entry's exclusive lease, waiting until the current
-// holder releases it or ctx is done.
+// holder releases it or ctx is done. Either way the Get pin is
+// consumed: a caller that gives up on the lease no longer holds a
+// reference the cache needs to protect.
 func (e *Entry) Acquire(ctx context.Context) error {
 	select {
 	case e.lease <- struct{}{}:
@@ -58,13 +70,32 @@ func (e *Entry) Acquire(ctx context.Context) error {
 		select {
 		case e.lease <- struct{}{}:
 		case <-ctx.Done():
+			e.unpin()
 			return ctx.Err()
 		}
 	}
 	e.mu.Lock()
 	e.leases++
 	e.mu.Unlock()
+	e.unpin()
 	return nil
+}
+
+// unpin consumes one Get pin, saturating at zero so Acquire after a
+// bare Put (no Get) stays balanced.
+func (e *Entry) unpin() {
+	e.mu.Lock()
+	if e.pending > 0 {
+		e.pending--
+	}
+	e.mu.Unlock()
+}
+
+// pinned reads the handout pin under mu.
+func (e *Entry) pinned() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pending > 0
 }
 
 // tryAcquire takes the lease only if it is free (the eviction probe).
@@ -198,7 +229,7 @@ func (c *Cache) Put(t *tensor.COO) (e *Entry, existed bool) {
 		c.touchLocked(e)
 		return e, true
 	}
-	e = &Entry{fp: fp, t: t, lease: make(chan struct{}, 1), plan: c.cfg.Plan}
+	e = &Entry{fp: fp, t: t, lease: make(chan struct{}, 1), plan: c.cfg.Plan, workers: c.cfg.Plan.Workers}
 	e.bytes = tensorBytes(t)
 	c.entries[fp] = e
 	c.total += e.bytes
@@ -207,7 +238,11 @@ func (c *Cache) Put(t *tensor.COO) (e *Entry, existed bool) {
 	return e, false
 }
 
-// Get looks a fingerprint up, counting the job-side hit or miss.
+// Get looks a fingerprint up, counting the job-side hit or miss. The
+// returned entry is pinned against eviction until the caller's next
+// Acquire resolves (successfully or not): the handout window between
+// Get and Acquire is lease-free, and evicting during it would leave
+// the caller holding an entry the cache has already forgotten.
 func (c *Cache) Get(fp string) (*Entry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -218,6 +253,9 @@ func (c *Cache) Get(fp string) (*Entry, bool) {
 	}
 	c.hits++
 	c.touchLocked(e)
+	e.mu.Lock()
+	e.pending++
+	e.mu.Unlock()
 	return e, true
 }
 
@@ -240,10 +278,39 @@ func (c *Cache) Executor(e *Entry) (*engine.MultiModeExecutor, error) {
 	e.mu.Unlock()
 	c.mu.Lock()
 	c.builds++
-	c.total += delta
-	c.evictLocked(e)
+	// Only charge the build if the entry is still the cache's: an entry
+	// evicted between handout and build is an orphan whose bytes were
+	// already deducted, and charging it would inflate the budget with
+	// bytes no future eviction can recover.
+	if c.entries[e.fp] == e {
+		c.total += delta
+		c.evictLocked(e)
+	}
 	c.mu.Unlock()
 	return eng, nil
+}
+
+// applyWorkers resolves a job's parallelism — the request's count when
+// positive, the plan's otherwise — and applies it to the built stack
+// only when it differs from what the previous lease holder left
+// behind. A job that does not name a count must not inherit the
+// previous job's resize: the plan's count is the entry's baseline, and
+// restoring it here is what keeps one client's Workers knob from
+// bleeding into the next client's job. Must be called by the lease
+// holder, after the stack is built.
+func (e *Entry) applyWorkers(requested int) error {
+	w := requested
+	if w <= 0 {
+		w = e.plan.Workers
+	}
+	if w == e.workers {
+		return nil
+	}
+	if err := e.eng.SetWorkers(w); err != nil {
+		return err
+	}
+	e.workers = w
+	return nil
 }
 
 // touchLocked bumps e's LRU clock. Caller holds c.mu.
@@ -275,6 +342,11 @@ func (c *Cache) evictLocked(keep *Entry) {
 		})
 		evicted := false
 		for _, victim := range candidates {
+			if victim.pinned() {
+				// Handed out by Get but not yet leased: the holder is
+				// about to Acquire and build against this entry.
+				continue
+			}
 			if !victim.tryAcquire() {
 				continue
 			}

@@ -146,8 +146,9 @@ type jobRequest struct {
 	// Reps is the mttkrp kind's repetition count (default 1).
 	Reps int `json:"reps,omitempty"`
 	// Workers, when positive, re-sizes the cached stack's parallelism
-	// before the job runs (the resize persists for later jobs on the
-	// same entry). mttkrp and cpals only.
+	// for this job only; jobs that leave it unset run at the plan's
+	// worker count regardless of what earlier jobs asked for. mttkrp
+	// and cpals only.
 	Workers int `json:"workers,omitempty"`
 	// TimeoutMs bounds the job's wall time; on expiry the job is
 	// canceled between mode products and 504 is returned.
@@ -317,10 +318,8 @@ func (s *Server) runJob(ctx context.Context, entry *Entry, req jobRequest) (*job
 		if err != nil {
 			return nil, err
 		}
-		if req.Workers > 0 {
-			if err := eng.SetWorkers(req.Workers); err != nil {
-				return nil, err
-			}
+		if err := entry.applyWorkers(req.Workers); err != nil {
+			return nil, err
 		}
 		res, err := cpd.CPALSEngine(entry.Tensor(), eng, cpd.Options{
 			Rank:     req.Rank,
@@ -366,10 +365,8 @@ func (s *Server) runMTTKRP(ctx context.Context, entry *Entry, req jobRequest) (*
 	if err != nil {
 		return nil, err
 	}
-	if req.Workers > 0 {
-		if err := eng.SetWorkers(req.Workers); err != nil {
-			return nil, err
-		}
+	if err := entry.applyWorkers(req.Workers); err != nil {
+		return nil, err
 	}
 	reps := req.Reps
 	if reps <= 0 {

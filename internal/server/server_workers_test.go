@@ -1,0 +1,50 @@
+package server
+
+import (
+	"testing"
+
+	"spblock/internal/core"
+)
+
+// TestWorkerCountDoesNotBleedAcrossJobs pins per-job worker
+// resolution on a shared cached stack: a job that names a Workers
+// count gets it, and the next job that leaves Workers unset runs at
+// the plan's count — it must not inherit the previous job's resize
+// through the cached executor.
+func TestWorkerCountDoesNotBleedAcrossJobs(t *testing.T) {
+	_, ts, fp := newTestServer(t, Options{
+		Cache: CacheConfig{Plan: core.Plan{Method: core.MethodSPLATT, Workers: 2}},
+	})
+	run := func(workers int) []int {
+		t.Helper()
+		code, jr, raw := postJob(t, ts.URL, "", jobRequest{
+			Fingerprint: fp, Kind: "mttkrp", Rank: 8, Workers: workers,
+		})
+		if code != 200 {
+			t.Fatalf("mttkrp job (workers=%d) failed: %d %s", workers, code, raw)
+		}
+		counts := make([]int, len(jr.ModeSnap))
+		for m, snap := range jr.ModeSnap {
+			counts[m] = len(snap.WorkerNS)
+		}
+		return counts
+	}
+
+	for m, n := range run(3) {
+		if n != 3 {
+			t.Fatalf("job asking for 3 workers ran mode %d with %d", m, n)
+		}
+	}
+	for m, n := range run(0) {
+		if n != 2 {
+			t.Fatalf("job with Workers unset ran mode %d with %d workers; the previous job's resize bled through (plan says 2)", m, n)
+		}
+	}
+	// A repeat of the plan's count must not pay a SetWorkers rebuild —
+	// the stack is already at 2 — and still reports 2.
+	for m, n := range run(2) {
+		if n != 2 {
+			t.Fatalf("job asking for the plan's 2 workers ran mode %d with %d", m, n)
+		}
+	}
+}
